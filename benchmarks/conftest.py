@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark target runs one figure/table reproduction exactly once
+(``benchmark.pedantic(rounds=1)``): the experiment functions are themselves
+deterministic simulations, so repeating them only wastes wall-clock.  Their
+printed paper-style tables are teed into ``benchmarks/results/`` so they
+survive pytest's stdout capture.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_table():
+    """Context manager teeing stdout to ``benchmarks/results/<name>.txt``."""
+
+    @contextlib.contextmanager
+    def _record(name: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        buffer = io.StringIO()
+        original = sys.stdout
+
+        class Tee(io.TextIOBase):
+            def write(self, s):
+                buffer.write(s)
+                original.write(s)
+                return len(s)
+
+            def flush(self):
+                original.flush()
+
+        sys.stdout = Tee()
+        try:
+            yield
+        finally:
+            sys.stdout = original
+            (RESULTS_DIR / f"{name}.txt").write_text(buffer.getvalue())
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Ablation (extension): multi-query amortization.
+
+Real CSM deployments monitor rule books of patterns; the
+:class:`~repro.core.multiquery.MultiQueryEngine` shares the per-batch graph
+update, frequency estimation, DCSR packing/DMA, and reorganization across
+all patterns.  This bench quantifies the saving against one GCSM engine per
+pattern on the same stream.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import build_workload, print_table
+from repro.core.engine import GCSMEngine
+from repro.core.multiquery import MultiQueryEngine
+from repro.query import QUERIES
+
+
+def compare_multiquery(dataset="SF3K", batch=256, query_names=("Q1", "Q2", "Q4")):
+    g0, batches = build_workload(dataset, batch_size=batch, seed=0)
+    queries = [QUERIES[n] for n in query_names]
+    batch0 = batches[0]
+
+    multi = MultiQueryEngine(g0, queries, seed=1)
+    mr = multi.process_batch(batch0)
+
+    separate_total = 0.0
+    separate_shared = 0.0
+    deltas = {}
+    for q in queries:
+        engine = GCSMEngine(g0, q, seed=1)
+        sr = engine.process_batch(batch0)
+        separate_total += sr.breakdown.total_ns
+        separate_shared += (sr.breakdown.update_ns + sr.breakdown.estimate_ns
+                            + sr.breakdown.pack_ns + sr.breakdown.reorg_ns)
+        deltas[q.name] = sr.delta_count
+
+    multi_shared = (mr.breakdown.update_ns + mr.breakdown.estimate_ns
+                    + mr.breakdown.pack_ns + mr.breakdown.reorg_ns)
+    rows = [
+        ["separate engines", separate_total / 1e6, separate_shared / 1e6],
+        ["multi-query engine", mr.breakdown.total_ns / 1e6, multi_shared / 1e6],
+    ]
+    print_table(
+        f"Ablation: multi-query amortization ({dataset}, {len(queries)} patterns)",
+        ["configuration", "total ms", "shared-phase ms"], rows,
+    )
+    return mr, deltas, separate_total, separate_shared, multi_shared
+
+
+def test_ablation_multiquery(benchmark, record_table):
+    with record_table("ablation_multiquery"):
+        mr, deltas, separate_total, separate_shared, multi_shared = run_once(
+            benchmark, compare_multiquery
+        )
+
+    # identical per-pattern results
+    assert mr.delta_counts == deltas
+    # the shared phases are paid roughly once instead of N times
+    assert multi_shared < 0.7 * separate_shared
+    # end-to-end the shared pipeline is no slower
+    assert mr.breakdown.total_ns <= separate_total * 1.05

@@ -1,0 +1,82 @@
+"""Ablation: estimator sampling budget and continuation schedule
+(DESIGN.md §6, items 2 and 4; paper Eq. 5 trade-off).
+
+More walks buy better cache coverage at higher FE cost; the survival
+continuation schedule reaches deep levels that the paper's 1/D schedule
+starves at scaled-down max degrees.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import build_workload, print_table
+from repro.core.engine import GCSMEngine
+from repro.query import query_by_name
+
+
+def sweep_walks(dataset="FR", qname="Q1", batch=256):
+    g0, batches = build_workload(dataset, batch_size=batch, seed=0)
+    results = {}
+    rows = []
+    for walks in (64, 256, 1024, 4096):
+        engine = GCSMEngine(g0, query_by_name(qname), num_walks=walks, seed=0)
+        r = engine.process_batch(batches[0])
+        results[walks] = r
+        rows.append([
+            walks, r.coverage(0.01), r.coverage(0.05),
+            100 * r.breakdown.fe_fraction,
+            r.cache_hits / max(1, r.cache_hits + r.cache_misses),
+        ])
+    print_table(
+        f"Ablation: number of walks M ({dataset}, {qname})",
+        ["M", "coverage top-1%", "coverage top-5%", "FE %", "hit rate"], rows,
+    )
+    return results
+
+
+def compare_schedules(dataset="FR", qname="Q6", batch=256, walks=1024):
+    g0, batches = build_workload(dataset, batch_size=batch, seed=0)
+    results = {}
+    rows = []
+    for label, survival in (("paper 1/D", None), ("survival c=0.5", 0.5),
+                            ("survival c=1.0", 1.0), ("survival c=2.0", 2.0)):
+        engine = GCSMEngine(g0, query_by_name(qname), num_walks=walks,
+                            survival=survival, seed=0)
+        r = engine.process_batch(batches[0])
+        results[label] = r
+        rows.append([
+            label, r.coverage(0.01), r.estimation.nodes_visited,
+            100 * r.breakdown.fe_fraction,
+        ])
+    print_table(
+        f"Ablation: walk continuation schedule ({dataset}, {qname}, M={walks})",
+        ["schedule", "coverage top-1%", "nodes visited", "FE %"], rows,
+    )
+    return results
+
+
+def test_ablation_num_walks(benchmark, record_table):
+    with record_table("ablation_walks"):
+        results = run_once(benchmark, sweep_walks)
+
+    walks = sorted(results)
+    cov = [results[w].coverage(0.01) for w in walks]
+    fe = [results[w].breakdown.estimate_ns for w in walks]
+    # coverage does not degrade with more walks; FE cost grows
+    assert cov[-1] >= cov[0]
+    assert fe[-1] > fe[0]
+    # the largest budget achieves solid coverage of the hot set
+    assert cov[-1] > 0.7
+
+
+def test_ablation_walk_schedule(benchmark, record_table):
+    with record_table("ablation_schedule"):
+        results = run_once(benchmark, compare_schedules)
+
+    paper = results["paper 1/D"]
+    boosted = results["survival c=1.0"]
+    # the survival schedule visits deeper tree nodes and covers the hot set
+    # at least as well as the paper schedule at scaled-down D
+    assert boosted.coverage(0.01) >= paper.coverage(0.01) - 0.05
+    assert boosted.estimation.nodes_visited > 0
+    # all schedules produce the identical match result
+    assert len({r.delta_count for r in results.values()}) == 1

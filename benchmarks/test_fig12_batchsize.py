@@ -1,0 +1,33 @@
+"""Fig. 12: execution time vs batch size (Q6@SF3K, Q5@SF10K).
+
+Paper shape: execution time is almost proportional to batch size, and
+GCSM's advantage over ZC holds across the whole sweep (1.8-2.9x there).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.utils import geometric_mean
+
+
+def test_fig12_batch_size_sweep(benchmark, record_table):
+    sizes = (16, 32, 64, 128, 256, 512)
+    with record_table("fig12_batchsize"):
+        out = run_once(
+            benchmark, figures.fig12_batch_size_sweep, batch_sizes=sizes
+        )
+
+    for dataset, qname in (("SF3K", "Q6"), ("SF10K", "Q5")):
+        gcsm_times = [out[(dataset, qname, bs)]["GCSM"].breakdown.total_ns
+                      for bs in sizes]
+        zc_times = [out[(dataset, qname, bs)]["ZC"].breakdown.total_ns
+                    for bs in sizes]
+        # time grows with batch size, roughly proportionally: going 16 -> 512
+        # (32x) must scale the time by well over 8x but below ~130x
+        assert gcsm_times == sorted(gcsm_times)
+        growth = gcsm_times[-1] / gcsm_times[0]
+        assert 8 < growth < 130, (dataset, growth)
+        # GCSM's advantage holds across the sweep (allow noise at tiny sizes)
+        speedups = [z / g for z, g in zip(zc_times, gcsm_times)]
+        assert geometric_mean(speedups) > 1.1, (dataset, speedups)
+        assert all(s > 0.9 for s in speedups), (dataset, speedups)

@@ -1,0 +1,31 @@
+"""Fig. 13: VSGM vs GCSM execution breakdown.
+
+Paper shape: the matching kernel takes about the same time in both (they
+run the same kernel from device-resident data), but VSGM's data-copy phase
+dominates its total — it bulk-uploads the whole k-hop neighborhood, so
+GCSM wins end-to-end.  Also reproduces the procedure of shrinking the
+batch until VSGM's working set fits device memory.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_fig13_vsgm_breakdown(benchmark, record_table):
+    with record_table("fig13_vsgm"):
+        out = run_once(benchmark, figures.fig13_vsgm_breakdown)
+
+    for dataset in ("SF3K", "SF10K"):
+        vsgm = out[dataset]["VSGM"]
+        gcsm = out[dataset]["GCSM"]
+        # VSGM is copy-dominated
+        assert vsgm["dc_ms"] > vsgm["match_ms"], (dataset, vsgm)
+        # VSGM copies far more data per batch than GCSM
+        assert vsgm["copy_bytes"] > 5 * max(1.0, gcsm["copy_bytes"]), (dataset, vsgm, gcsm)
+        assert vsgm["dc_ms"] > 2 * gcsm["dc_ms"], (dataset, vsgm, gcsm)
+        # end-to-end, GCSM wins
+        assert gcsm["dc_ms"] + gcsm["match_ms"] < vsgm["dc_ms"] + vsgm["match_ms"]
+        # VSGM is capacity-limited even at the paper-scaled tiny batches
+        assert vsgm["batch"] <= 32
+        assert vsgm["buffer_overflow_x"] > 1.0

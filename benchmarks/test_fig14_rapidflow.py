@@ -1,0 +1,40 @@
+"""Fig. 14: comparison with RapidFlow on the small graphs (AZ, LJ).
+
+Paper shape: RapidFlow is competitive with (and on favorable queries up to
+7.7x faster than) the plain CPU baseline thanks to its candidate index and
+matching order, but GCSM beats RapidFlow on every case (1.6-4.4x there);
+and RapidFlow cannot run on the large graphs at all (index OOM).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.utils import geometric_mean
+
+
+def test_fig14_rapidflow(benchmark, record_table):
+    with record_table("fig14_rapidflow"):
+        out = run_once(benchmark, figures.fig14_rapidflow)
+
+    gcsm_speedups = []
+    rf_vs_cpu = []
+    for dataset in ("AZ", "LJ"):
+        for qname, res in out[dataset].items():
+            total = {s: r.breakdown.total_ns for s, r in res.items()}
+            # all three systems agree on ΔM
+            deltas = {r.delta_total for r in res.values()}
+            assert len(deltas) == 1, (dataset, qname)
+            gcsm_speedups.append(total["RapidFlow"] / total["GCSM"])
+            rf_vs_cpu.append(total["CPU"] / total["RapidFlow"])
+
+    # GCSM outperforms RapidFlow (paper: 1.6-4.4x in all cases; we allow one
+    # near-tie within noise on the tiny AZ analog)
+    assert all(s > 0.9 for s in gcsm_speedups), gcsm_speedups
+    assert sum(s > 1.0 for s in gcsm_speedups) >= len(gcsm_speedups) - 1
+    assert geometric_mean(gcsm_speedups) > 1.3
+    # RapidFlow beats the CPU baseline overall thanks to its candidate index
+    # and matching order (paper: comparable, up to 7.7x on favorable cases)
+    assert geometric_mean(rf_vs_cpu) > 1.0, rf_vs_cpu
+    assert max(rf_vs_cpu) > 1.3, rf_vs_cpu
+    # the index OOMs on the Friendster analog (why Fig. 8-10 exclude RF)
+    assert out["FR_oom"] is True

@@ -1,0 +1,34 @@
+"""Fig. 15a/15b: memory-access locality and estimator cache coverage.
+
+Paper shape: accesses are highly concentrated (top 5 % of accessed vertices
+≥ 80 % of memory access at the paper's 65M-vertex scale; the concentration
+weakens with graph size, so the scaled analogs land lower — see
+EXPERIMENTS.md), and the random-walk cache covers most of the truly-hot
+vertices (paper: 90-100 % of the top 1 %).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_fig15_access_locality(benchmark, record_table):
+    with record_table("fig15_access_locality"):
+        out = run_once(benchmark, figures.fig15_locality)
+
+    for dataset in ("FR", "SF3K", "SF10K"):
+        stats = out[dataset]
+        shares = stats["access_share"]
+        byte_shares = stats["byte_share"]
+        fractions = stats["fractions"]
+        # CDF is monotone in the fraction
+        assert shares == sorted(shares)
+        # strong concentration: top 5 % of accessed vertices serve a large
+        # multiple of their population share
+        idx5 = fractions.index(0.05)
+        assert shares[idx5] > 0.30, (dataset, shares)
+        assert byte_shares[idx5] > 0.40, (dataset, byte_shares)
+        assert shares[idx5] > 5 * 0.05  # >5x their population share
+        # estimator coverage of the truly-hot set (paper Fig. 15b)
+        assert stats["coverage_top1"] > 0.6, dataset
+        assert stats["coverage_top5"] > 0.5, dataset

@@ -1,0 +1,43 @@
+"""Fig. 8: execution time per query on the Friendster analog.
+
+Paper shape: GCSM beats ZC on every query (1.4-2.9x there); Naive ≈ ZC;
+the CPU baseline is slower than ZC; GCSM cuts CPU-memory access 1.3-6.7x.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.query import QUERY_ORDER
+from repro.utils import geometric_mean
+
+
+def test_fig8_fr_exec_time(benchmark, record_table):
+    with record_table("fig8_fr"):
+        out = run_once(benchmark, figures.fig8_to_10_exec_time, "FR")
+
+    assert set(out) == set(QUERY_ORDER)
+    zc_speedups = []
+    cpu_speedups = []
+    naive_ratio = []
+    access_reduction = []
+    for qname, res in out.items():
+        total = {s: r.breakdown.total_ns for s, r in res.items()}
+        # all systems agree on the incremental result
+        deltas = {r.delta_total for r in res.values()}
+        assert len(deltas) == 1, f"systems disagree on ΔM for {qname}"
+        zc_speedups.append(total["ZC"] / total["GCSM"])
+        cpu_speedups.append(total["CPU"] / total["GCSM"])
+        naive_ratio.append(total["Naive"] / total["ZC"])
+        access_reduction.append(
+            res["ZC"].cpu_access_bytes / max(1, res["GCSM"].cpu_access_bytes)
+        )
+
+    # GCSM beats ZC on every query; average speedup in the paper's band
+    assert all(s > 1.0 for s in zc_speedups), zc_speedups
+    assert 1.2 <= geometric_mean(zc_speedups) <= 3.5
+    # GCSM beats the CPU baseline on every query (paper: 1.4-11.4x)
+    assert all(s > 1.3 for s in cpu_speedups), cpu_speedups
+    # Naive (degree cache) is approximately ZC, not approximately GCSM
+    assert 0.6 <= geometric_mean(naive_ratio) <= 1.6, naive_ratio
+    # CPU-access reduction in the paper's 1.3-6.7x band
+    assert all(r > 1.15 for r in access_reduction), access_reduction

@@ -1,0 +1,28 @@
+"""Fig. 9: execution time per query on the LDBC SF3K analog."""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.query import QUERY_ORDER
+from repro.utils import geometric_mean
+
+
+def test_fig9_sf3k_exec_time(benchmark, record_table):
+    with record_table("fig9_sf3k"):
+        out = run_once(benchmark, figures.fig8_to_10_exec_time, "SF3K")
+
+    assert set(out) == set(QUERY_ORDER)
+    zc_speedups = []
+    cpu_speedups = []
+    for qname, res in out.items():
+        deltas = {r.delta_total for r in res.values()}
+        assert len(deltas) == 1, f"systems disagree on ΔM for {qname}"
+        total = {s: r.breakdown.total_ns for s, r in res.items()}
+        zc_speedups.append(total["ZC"] / total["GCSM"])
+        cpu_speedups.append(total["CPU"] / total["GCSM"])
+        # GCSM always reduces PCIe traffic
+        assert res["GCSM"].cpu_access_bytes < res["ZC"].cpu_access_bytes
+
+    assert all(s > 1.0 for s in zc_speedups), zc_speedups
+    assert geometric_mean(zc_speedups) > 1.2
+    assert all(s > 1.3 for s in cpu_speedups), cpu_speedups

@@ -1,0 +1,27 @@
+"""Table I: dataset inventory — scaled analogs mirror the paper's memory
+relationships (which graphs fit the GPU cache buffer)."""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.graphs import datasets
+
+
+def test_table1_datasets(benchmark, record_table):
+    with record_table("table1_datasets"):
+        rows = run_once(benchmark, figures.table1_datasets)
+
+    by_name = {r["graph"]: r for r in rows}
+    assert set(by_name) == set(datasets.TABLE1_ORDER)
+    # the paper's fit/overflow pattern
+    for name in ("AZ", "PA", "CA", "LJ"):
+        assert by_name[name]["fits_buffer"], name
+    for name in ("FR", "SF3K", "SF10K"):
+        assert not by_name[name]["fits_buffer"], name
+    # size ordering matches the paper's Table I
+    sizes = [by_name[n]["size_bytes"] for n in ("LJ", "FR", "SF3K", "SF10K")]
+    assert sizes == sorted(sizes)
+    # road networks have bounded degree; social analogs are skewed
+    assert by_name["PA"]["max_degree"] <= 14
+    assert by_name["CA"]["max_degree"] <= 14
+    assert by_name["FR"]["max_degree"] > 100

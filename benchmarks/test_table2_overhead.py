@@ -1,0 +1,29 @@
+"""Table II: frequency-estimation (FE) and data-copy (DC) overheads.
+
+Paper shape: FE < ~17 % of total time (usually < 10 %), decreasing for
+larger patterns; DC < ~13 %.  The overheads never dominate matching.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import figures
+
+
+def test_table2_overhead(benchmark, record_table):
+    with record_table("table2_overhead"):
+        out = run_once(benchmark, figures.table2_overhead)
+
+    fe_values = []
+    dc_values = []
+    for (dataset, qname), (fe, dc) in out.items():
+        fe_values.append(fe)
+        dc_values.append(dc)
+        assert 0.0 <= fe < 45.0, (dataset, qname, fe)
+        assert 0.0 <= dc < 35.0, (dataset, qname, dc)
+
+    # overheads are small on average (paper: FE mostly < 10 %, DC < 5 %)
+    assert float(np.mean(fe_values)) < 15.0, fe_values
+    assert float(np.mean(dc_values)) < 15.0, dc_values
+    # matching dominates: FE+DC below half of total everywhere
+    assert all(fe + dc < 50.0 for fe, dc in out.values())

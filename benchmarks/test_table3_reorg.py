@@ -1,0 +1,26 @@
+"""Table III: CPU graph-reorganization time per batch.
+
+Paper shape: a few milliseconds at most — negligible against matching time
+— growing with batch size and with graph/list sizes.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures
+from repro.graphs import datasets
+
+
+def test_table3_reorg_time(benchmark, record_table):
+    with record_table("table3_reorg"):
+        out = run_once(benchmark, figures.table3_reorg_time)
+
+    small, big = figures.SCALED_BATCH_4096, figures.SCALED_BATCH_8192
+    for name in datasets.TABLE1_ORDER:
+        # bigger batches reorganize more lists
+        assert out[(name, big)] > out[(name, small)], name
+        # reorganization stays tiny: well under a simulated millisecond at
+        # our scale (the paper's absolute values are 0.8-9.5 ms)
+        assert out[(name, big)] < 1.0, (name, out[(name, big)])
+    # denser graphs pay more (longer lists to merge)
+    assert out[("SF10K", big)] > out[("PA", big)]
+    assert out[("FR", small)] > out[("AZ", small)]

@@ -1,0 +1,14 @@
+"""Experiment harness: per-figure/table runners reproducing the paper's
+evaluation (Sec. VI).  Each function in :mod:`repro.bench.figures` returns
+structured rows and prints a paper-style table; the ``benchmarks/`` pytest
+targets wrap them with wall-clock measurement and shape assertions."""
+
+from repro.bench.harness import (
+    RunResult,
+    run_stream,
+    build_workload,
+    clear_caches,
+)
+from repro.bench import figures
+
+__all__ = ["RunResult", "run_stream", "build_workload", "clear_caches", "figures"]

@@ -1,0 +1,191 @@
+"""Shared experiment machinery.
+
+``build_workload`` materializes a Table I analog and its update stream
+(cached at module level — the bench suite reuses graphs across queries and
+systems, as the paper does).  ``run_stream`` drives one system over one or
+more batches and aggregates simulated timings, traffic, and GCSM-specific
+artifacts into a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baselines import make_system
+from repro.core.engine import BatchResult
+from repro.graphs import datasets
+from repro.graphs.static_graph import StaticGraph
+from repro.graphs.stream import UpdateBatch, derive_stream
+from repro.gpu.clock import TimeBreakdown
+from repro.gpu.counters import AccessCounters
+from repro.gpu.device import DeviceConfig
+from repro.query.pattern import QueryGraph
+from repro.utils import format_time_ns
+
+__all__ = ["RunResult", "run_stream", "build_workload", "clear_caches", "print_table"]
+
+_GRAPH_CACHE: dict[tuple, StaticGraph] = {}
+_STREAM_CACHE: dict[tuple, tuple[StaticGraph, list[UpdateBatch]]] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoized graphs/streams (tests use this for isolation)."""
+    _GRAPH_CACHE.clear()
+    _STREAM_CACHE.clear()
+
+
+def build_workload(
+    dataset: str,
+    *,
+    batch_size: int | None = None,
+    num_batches: int = 1,
+    seed: int = 0,
+) -> tuple[StaticGraph, list[UpdateBatch]]:
+    """Dataset analog + derived update stream (paper Sec. VI-A methodology).
+
+    ``batch_size=None`` uses the dataset's default (the scaled analog of the
+    paper's 4096/8192).  Streams are derived with enough updates to fill
+    ``num_batches`` batches and memoized per parameter set.
+    """
+    spec = datasets.DATASETS[dataset]
+    bs = batch_size or spec.default_batch_size
+    gkey = (dataset, seed)
+    if gkey not in _GRAPH_CACHE:
+        _GRAPH_CACHE[gkey] = spec.build(seed)
+    graph = _GRAPH_CACHE[gkey]
+    skey = (dataset, seed, bs, num_batches)
+    if skey not in _STREAM_CACHE:
+        num_updates = min(bs * num_batches, graph.num_edges // 2)
+        g0, batches = derive_stream(
+            graph, num_updates=num_updates, batch_size=bs, seed=seed + 1
+        )
+        _STREAM_CACHE[skey] = (g0, batches)
+    return _STREAM_CACHE[skey]
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one system over a stream prefix.
+
+    Times are simulated nanoseconds *per batch* (mean), matching how the
+    paper reports "average execution time for one batch of edge updates".
+    """
+
+    system: str
+    dataset: str
+    query: str
+    batch_size: int
+    num_batches: int
+    breakdown: TimeBreakdown  # mean per batch
+    counters: AccessCounters  # summed over batches
+    delta_total: int
+    embeddings_total: int
+    cpu_access_bytes: int  # mean per batch
+    coverage_top1: float | None = None
+    coverage_top5: float | None = None
+    cache_hit_rate: float | None = None
+    cache_bytes: int = 0  # mean per batch
+
+    @property
+    def total_ms(self) -> float:
+        return self.breakdown.total_ns / 1e6
+
+    @property
+    def match_ms(self) -> float:
+        return self.breakdown.match_ns / 1e6
+
+    @property
+    def dc_ms(self) -> float:
+        """Data-preparation time: FE + packing/DMA (Fig. 13's 'DC')."""
+        return (self.breakdown.estimate_ns + self.breakdown.pack_ns) / 1e6
+
+    def describe(self) -> str:
+        return (
+            f"{self.system:>9} {self.dataset:>6} {self.query:>10} "
+            f"total={format_time_ns(self.breakdown.total_ns):>10} "
+            f"match={format_time_ns(self.breakdown.match_ns):>10} "
+            f"cpu_access={self.cpu_access_bytes:>12,d} B"
+        )
+
+
+def run_stream(
+    system_name: str,
+    dataset: str,
+    query: QueryGraph,
+    *,
+    batch_size: int | None = None,
+    num_batches: int = 1,
+    seed: int = 0,
+    device: DeviceConfig | None = None,
+    **system_kwargs,
+) -> RunResult:
+    """Build the workload, drive ``system_name`` over it, aggregate."""
+    g0, batches = build_workload(
+        dataset, batch_size=batch_size, num_batches=num_batches, seed=seed
+    )
+    batches = batches[:num_batches]
+    system = make_system(system_name, g0, query, device=device, seed=seed, **system_kwargs)
+
+    agg_breakdown = TimeBreakdown()
+    agg_counters = AccessCounters()
+    delta_total = 0
+    embeddings_total = 0
+    cpu_bytes = 0
+    cache_bytes = 0
+    cov1: list[float] = []
+    cov5: list[float] = []
+    hits = misses = 0
+    for batch in batches:
+        result: BatchResult = system.process_batch(batch)
+        agg_breakdown = agg_breakdown + result.breakdown
+        agg_counters.merge(result.match_counters)
+        delta_total += result.delta_count
+        embeddings_total += result.match_stats.embeddings_found
+        cpu_bytes += result.cpu_access_bytes
+        cache_bytes += result.cache_bytes
+        if result.cached_vertices.size and result.estimation is not None:
+            cov1.append(result.coverage(0.01))
+            cov5.append(result.coverage(0.05))
+        hits += result.cache_hits
+        misses += result.cache_misses
+
+    n = max(1, len(batches))
+    return RunResult(
+        system=system_name,
+        dataset=dataset,
+        query=query.name,
+        batch_size=batch_size or datasets.DATASETS[dataset].default_batch_size,
+        num_batches=len(batches),
+        breakdown=agg_breakdown.scaled(1.0 / n),
+        counters=agg_counters,
+        delta_total=delta_total,
+        embeddings_total=embeddings_total,
+        cpu_access_bytes=cpu_bytes // n,
+        coverage_top1=float(np.mean(cov1)) if cov1 else None,
+        coverage_top5=float(np.mean(cov5)) if cov5 else None,
+        cache_hit_rate=hits / (hits + misses) if (hits + misses) else None,
+        cache_bytes=cache_bytes // n,
+    )
+
+
+def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Minimal fixed-width table printer for the figure runners."""
+    widths = [len(h) for h in header]
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.rjust(w) for h, w in zip(header, widths))
+    print(f"\n== {title}")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-datasets``
+    Table I analogs with live statistics.
+``list-queries``
+    The Fig. 7 catalog.
+``run``
+    Run one system on one (dataset, query) workload; optionally export the
+    record as JSON.
+``compare``
+    Run several systems on the same workload and print a speedup summary.
+``figure``
+    Regenerate one of the paper's tables/figures (or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench import figures
+from repro.bench.harness import build_workload, print_table, run_stream
+from repro.core.baselines import SYSTEM_NAMES
+from repro.core.results import ExperimentRecord, save_records, summarize
+from repro.graphs import datasets
+from repro.query import QUERIES, QUERY_ORDER, query_by_name
+from repro.utils import format_bytes, format_time_ns
+
+__all__ = ["main", "build_parser"]
+
+FIGURE_RUNNERS = {
+    "table1": lambda: figures.table1_datasets(),
+    "fig7": lambda: figures.fig7_queries(),
+    "fig8": lambda: figures.fig8_to_10_exec_time("FR"),
+    "fig9": lambda: figures.fig8_to_10_exec_time("SF3K"),
+    "fig10": lambda: figures.fig8_to_10_exec_time("SF10K"),
+    "fig11": lambda: figures.fig11_roadnet_motifs(),
+    "fig12": lambda: figures.fig12_batch_size_sweep(),
+    "fig13": lambda: figures.fig13_vsgm_breakdown(),
+    "fig14": lambda: figures.fig14_rapidflow(),
+    "fig15": lambda: figures.fig15_locality(),
+    "table2": lambda: figures.table2_overhead(),
+    "table3": lambda: figures.table3_reorg_time(),
+    "um": lambda: figures.um_slowdown(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GCSM reproduction: continuous subgraph matching on a "
+        "simulated CPU-GPU system (IPDPS 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="Table I analogs with statistics")
+    sub.add_parser("list-queries", help="the Fig. 7 query catalog")
+
+    run_p = sub.add_parser("run", help="run one system on one workload")
+    run_p.add_argument("--system", default="GCSM",
+                       choices=list(SYSTEM_NAMES) + ["RapidFlow"])
+    run_p.add_argument("--dataset", default="FR", choices=datasets.TABLE1_ORDER)
+    run_p.add_argument("--query", default="Q1", choices=QUERY_ORDER)
+    run_p.add_argument("--batch-size", type=int, default=None)
+    run_p.add_argument("--batches", type=int, default=1)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--json", metavar="PATH", default=None,
+                       help="export the record as JSON")
+
+    cmp_p = sub.add_parser("compare", help="run several systems, summarize speedups")
+    cmp_p.add_argument("--systems", default="GCSM,ZC,CPU",
+                       help="comma-separated system names")
+    cmp_p.add_argument("--dataset", default="FR", choices=datasets.TABLE1_ORDER)
+    cmp_p.add_argument("--query", default="Q1", choices=QUERY_ORDER)
+    cmp_p.add_argument("--batch-size", type=int, default=None)
+    cmp_p.add_argument("--batches", type=int, default=1)
+    cmp_p.add_argument("--seed", type=int, default=0)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig_p.add_argument("name", choices=list(FIGURE_RUNNERS) + ["all"])
+
+    ver_p = sub.add_parser(
+        "verify",
+        help="cross-check that all systems agree on ΔM (optionally vs the oracle)",
+    )
+    ver_p.add_argument("--systems", default="GCSM,ZC,UM,Naive,CPU")
+    ver_p.add_argument("--dataset", default="AZ", choices=datasets.TABLE1_ORDER)
+    ver_p.add_argument("--query", default="Q1", choices=QUERY_ORDER)
+    ver_p.add_argument("--batch-size", type=int, default=64)
+    ver_p.add_argument("--batches", type=int, default=2)
+    ver_p.add_argument("--oracle", action="store_true",
+                       help="also recount from scratch (small graphs only)")
+    ver_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list_datasets() -> int:
+    rows = []
+    for r in datasets.table1_rows():
+        rows.append([
+            r["graph"], r["vertices"], r["edges"], r["max_degree"],
+            format_bytes(int(r["size_bytes"])),
+            "yes" if r["fits_buffer"] else "no",
+        ])
+    print_table("datasets (Table I analogs)",
+                ["graph", "vertices", "edges", "max deg", "size", "fits buffer"],
+                rows)
+    return 0
+
+
+def _cmd_list_queries() -> int:
+    rows = []
+    for name in QUERY_ORDER:
+        q = QUERIES[name]
+        rows.append([name, q.num_vertices, q.num_edges, q.diameter(),
+                     " ".join(map(str, q.labels))])
+    print_table("queries (Fig. 7 catalog)",
+                ["query", "vertices", "edges", "diameter", "labels"], rows)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_stream(
+        args.system, args.dataset, query_by_name(args.query),
+        batch_size=args.batch_size, num_batches=args.batches, seed=args.seed,
+    )
+    bd = result.breakdown
+    print(result.describe())
+    print(f"  ΔM total          : {result.delta_total:+d}")
+    print(f"  embeddings emitted: {result.embeddings_total}")
+    print(f"  per-batch phases  : update {format_time_ns(bd.update_ns)}, "
+          f"FE {format_time_ns(bd.estimate_ns)}, DC {format_time_ns(bd.pack_ns)}, "
+          f"match {format_time_ns(bd.match_ns)}, reorg {format_time_ns(bd.reorg_ns)}")
+    if result.cache_hit_rate is not None:
+        print(f"  cache hit rate    : {result.cache_hit_rate:.2f} "
+              f"({format_bytes(result.cache_bytes)} cached)")
+    if args.json:
+        save_records([ExperimentRecord.from_run(result)], args.json)
+        print(f"  record written to {args.json}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    records = []
+    rows = []
+    for system in systems:
+        result = run_stream(
+            system, args.dataset, query_by_name(args.query),
+            batch_size=args.batch_size, num_batches=args.batches, seed=args.seed,
+        )
+        records.append(ExperimentRecord.from_run(result))
+        rows.append([system, result.total_ms, result.match_ms,
+                     result.cpu_access_bytes, result.delta_total])
+    print_table(
+        f"compare on {args.dataset}/{args.query}",
+        ["system", "total ms", "match ms", "CPU access B", "ΔM"], rows,
+    )
+    baseline = systems[-1]
+    for system in systems[:-1]:
+        print(summarize(records, system, baseline).describe())
+    return 0
+
+
+def _cmd_figure(name: str) -> int:
+    if name == "all":
+        for key, runner in FIGURE_RUNNERS.items():
+            print(f"\n### {key}")
+            runner()
+        return 0
+    FIGURE_RUNNERS[name]()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.validation import ConsistencyError, verify_stream
+
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    g0, batches = build_workload(
+        args.dataset, batch_size=args.batch_size, num_batches=args.batches,
+        seed=args.seed,
+    )
+    try:
+        report = verify_stream(
+            systems, g0, query_by_name(args.query), batches[: args.batches],
+            against_oracle=args.oracle, seed=args.seed,
+        )
+    except ConsistencyError as exc:
+        print(f"FAILED: {exc}")
+        return 1
+    print(report.describe())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-datasets":
+        return _cmd_list_datasets()
+    if args.command == "list-queries":
+        return _cmd_list_queries()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args.name)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

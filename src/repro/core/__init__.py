@@ -1,0 +1,40 @@
+"""GCSM core: the paper's contribution.
+
+* :mod:`repro.core.matching`  — the incremental WCOJ executor (the
+  STMatch-derived kernel of Sec. V-C, expressed over graph views).
+* :mod:`repro.core.frequency` — random-walk access-frequency estimation
+  (Sec. IV, Theorem 1, and the merged binomial execution of Sec. IV-B).
+* :mod:`repro.core.dcsr`      — the doubly-compressed cache format (Sec. V-B).
+* :mod:`repro.core.cache`     — cache-selection policies and the cached
+  device view (frequency-based for GCSM, degree-based for Naive).
+* :mod:`repro.core.engine`    — the five-step per-batch pipeline (Fig. 3).
+* :mod:`repro.core.baselines` — UM / ZC / VSGM / Naive GPU baselines and the
+  CPU nested-loop baseline.
+* :mod:`repro.core.rapidflow` — the RapidFlow-style CPU comparator.
+* :mod:`repro.core.reference` — brute-force oracle for correctness tests.
+"""
+
+from repro.core.matching import MatchStats, match_batch, match_static
+from repro.core.frequency import FrequencyEstimator, EstimationResult, required_walks
+from repro.core.dcsr import DcsrCache
+from repro.core.cache import CachePolicy, FrequencyCachePolicy, DegreeCachePolicy, CachedDeviceView
+from repro.core.engine import GCSMEngine, BatchResult
+from repro.core.reference import count_embeddings, find_embeddings
+
+__all__ = [
+    "MatchStats",
+    "match_batch",
+    "match_static",
+    "FrequencyEstimator",
+    "EstimationResult",
+    "required_walks",
+    "DcsrCache",
+    "CachePolicy",
+    "FrequencyCachePolicy",
+    "DegreeCachePolicy",
+    "CachedDeviceView",
+    "GCSMEngine",
+    "BatchResult",
+    "count_embeddings",
+    "find_embeddings",
+]

@@ -1,0 +1,184 @@
+"""Cache-selection policies and the cached device view (paper Sec. V-C).
+
+Two policies reproduce the paper's comparison:
+
+* :class:`FrequencyCachePolicy` — GCSM: rank vertices by the random-walk
+  frequency estimate and cache greedily until the device buffer is full.
+  In the paper's runs every sampled vertex fits ("the neighbor lists of all
+  nodes sampled by the random walk take less than 2 GB"), i.e. effectively
+  all vertices with estimated frequency ≥ |ΔE| are cached.
+* :class:`DegreeCachePolicy` — the Naive baseline: rank by current degree.
+  The paper shows this is nearly useless (Fig. 8-10: Naive ≈ ZC), because
+  which lists the kernel reads depends on the query and the updated edges,
+  not on degree alone.
+
+:class:`CachedDeviceView` is GCSM's data path: every access binary-searches
+the DCSR ``rowidx``; hits read GPU global memory, misses fall back to
+zero-copy reads of CPU memory through the ``pDevice`` indirection
+(Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.dcsr import DcsrCache, packed_size_bytes
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.gpu.counters import AccessCounters, Channel
+from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig
+from repro.gpu.views import GraphView
+from repro.query.plan import EdgeVersion
+
+__all__ = [
+    "CachePolicy",
+    "FrequencyCachePolicy",
+    "DegreeCachePolicy",
+    "CachedDeviceView",
+    "select_within_budget",
+]
+
+
+def select_within_budget(
+    graph: DynamicGraph,
+    ranked_vertices: np.ndarray,
+    budget_bytes: int,
+) -> np.ndarray:
+    """Take a prefix of ``ranked_vertices`` whose packed lists fit the budget.
+
+    Greedy by rank: a vertex whose list alone exceeds the remaining budget
+    stops the scan (keeping the selection a rank prefix, as the paper's
+    "nodes with the highest estimated frequency are cached" implies).
+    """
+    chosen: list[int] = []
+    used = 0
+    for v in ranked_vertices.tolist():
+        size = packed_size_bytes(
+            graph.degree_old(v) + graph.delta_neighbors(v).size
+        )
+        if used + size > budget_bytes:
+            break
+        chosen.append(v)
+        used += size
+    return np.asarray(chosen, dtype=np.int64)
+
+
+class CachePolicy(ABC):
+    """Strategy object producing the cached vertex set for a batch."""
+
+    name: str = "abstract"
+    #: whether the engine must run the random-walk estimator for this policy
+    requires_estimation: bool = False
+
+    @abstractmethod
+    def rank(self, graph: DynamicGraph, frequencies: np.ndarray | None) -> np.ndarray:
+        """Return candidate vertices, best first."""
+
+    def select(
+        self,
+        graph: DynamicGraph,
+        frequencies: np.ndarray | None,
+        budget_bytes: int,
+    ) -> np.ndarray:
+        return select_within_budget(graph, self.rank(graph, frequencies), budget_bytes)
+
+
+class FrequencyCachePolicy(CachePolicy):
+    """GCSM's policy: highest estimated access frequency first.
+
+    Only vertices actually sampled (estimate > 0) are candidates — a vertex
+    the walks never touched has estimated frequency below ``|ΔE|`` and is
+    not worth buffer space (paper Sec. VI-A Settings).
+    """
+
+    name = "frequency"
+    requires_estimation = True
+
+    def rank(self, graph: DynamicGraph, frequencies: np.ndarray | None) -> np.ndarray:
+        if frequencies is None:
+            return np.empty(0, dtype=np.int64)
+        nonzero = np.nonzero(frequencies > 0)[0]
+        order = np.argsort(-frequencies[nonzero], kind="stable")
+        return nonzero[order]
+
+
+class DegreeCachePolicy(CachePolicy):
+    """The Naive baseline: highest post-batch degree first."""
+
+    name = "degree"
+
+    def rank(self, graph: DynamicGraph, frequencies: np.ndarray | None) -> np.ndarray:
+        degrees = graph.degrees_new()
+        order = np.argsort(-degrees, kind="stable")
+        return order[degrees[order] > 0]
+
+
+class HybridCachePolicy(CachePolicy):
+    """Extension (not in the paper): frequency-ranked first, then fill the
+    *remaining* buffer with degree-ranked vertices.
+
+    The paper leaves the buffer beyond the sampled set unused; at scaled-down
+    graph sizes the degree tail still catches real traffic, so backfilling is
+    nearly free bandwidth.  Evaluated by the cache-policy ablation bench.
+    """
+
+    name = "hybrid"
+    requires_estimation = True
+
+    def rank(self, graph: DynamicGraph, frequencies: np.ndarray | None) -> np.ndarray:
+        freq_rank = FrequencyCachePolicy().rank(graph, frequencies)
+        degree_rank = DegreeCachePolicy().rank(graph, None)
+        backfill = degree_rank[~np.isin(degree_rank, freq_rank, assume_unique=True)]
+        return np.concatenate([freq_rank, backfill])
+
+
+class CachedDeviceView(GraphView):
+    """GCSM's kernel data path: DCSR cache hit or zero-copy miss.
+
+    Every fetch pays the rowidx binary-search probe (compute ops).  Hits are
+    GPU-global reads of the packed runs; misses dereference ``pDevice`` and
+    zero-copy the CPU list.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        device: DeviceConfig,
+        counters: AccessCounters,
+        cache: DcsrCache,
+    ) -> None:
+        super().__init__(graph, device, counters)
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+        self._probe_ops = cache.probe_cost_ops()
+
+    def fetch(self, v: int, version: EdgeVersion) -> tuple[np.ndarray, ...]:
+        self.counters.record_compute(self._probe_ops)
+        row = self.cache.lookup(v)
+        if row >= 0:
+            self.hits += 1
+            if version is EdgeVersion.OLD:
+                runs: tuple[np.ndarray, ...] = (self.cache.neighbors_old(row),)
+            else:
+                base, delta = self.cache.neighbors_new_parts(row)
+                runs = (base, delta) if delta.size else (base,)
+            self.counters.record_access(
+                Channel.GPU_GLOBAL, v, self._nbytes(runs)
+            )
+            return runs
+        self.misses += 1
+        runs = self._runs(v, version)
+        nbytes = self._nbytes(runs)
+        lines = self.device.zero_copy_lines(nbytes)
+        self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)
+        return runs
+
+    def _record(self, v: int, nbytes: int) -> None:  # pragma: no cover
+        raise AssertionError("CachedDeviceView overrides fetch() directly")
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

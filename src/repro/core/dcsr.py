@@ -1,0 +1,137 @@
+"""Doubly Compressed Sparse Row cache buffer (paper Sec. V-B, Fig. 6).
+
+The neighbor lists of the selected (frequent) vertices are packed into three
+arrays and shipped to the GPU in **one** DMA transaction:
+
+* ``rowidx``  — the selected vertex ids, sorted ascending (the kernel binary
+  searches this array on every access to decide cache hit vs. zero-copy).
+* ``colidx``  — the lists themselves, copied *as stored on the CPU after
+  step 3*: the base run keeps its negative deletion marks and the appended
+  (sorted) new neighbors follow it.
+* ``rowptr``  — per selected vertex a pair ``(base_start, delta_start)``
+  into ``colidx``; ``delta_start == -1`` when the vertex gained no new
+  neighbors this batch.  A final sentinel entry carries ``len(colidx)`` so
+  run lengths are recoverable (paper: "The last entry of rowptr indicates
+  the length of colidx").
+
+Because all three array sizes are known before copying, the buffer is
+allocated contiguously and moved with a single DMA request — the design
+point the paper calls out against per-list transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.gpu.device import BYTES_PER_NEIGHBOR
+from repro.utils import VERTEX_DTYPE, require
+
+__all__ = ["DcsrCache", "packed_size_bytes"]
+
+_EMPTY = np.empty(0, dtype=VERTEX_DTYPE)
+
+
+def packed_size_bytes(list_length: int) -> int:
+    """Buffer bytes one cached vertex costs: its colidx entries plus its
+    rowidx entry and rowptr pair (all int32 on the device)."""
+    return (list_length + 3) * BYTES_PER_NEIGHBOR
+
+
+@dataclass(frozen=True)
+class DcsrCache:
+    """Immutable packed cache, plus lookup helpers used by the cached view."""
+
+    rowidx: np.ndarray  # (k,) sorted selected vertices
+    rowptr: np.ndarray  # (k+1, 2) [base_start, delta_start|-1]; sentinel row
+    colidx: np.ndarray  # packed neighbor data (marks + deltas preserved)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: DynamicGraph, vertices: np.ndarray) -> "DcsrCache":
+        """Pack the current (mid-batch) lists of ``vertices``.
+
+        ``vertices`` may arrive in any order; they are sorted and deduplicated
+        (rowidx must support binary search).
+        """
+        verts = np.unique(np.asarray(vertices, dtype=VERTEX_DTYPE))
+        if verts.size:
+            require(
+                bool(verts[0] >= 0 and verts[-1] < graph.num_vertices),
+                "cache vertex out of range",
+            )
+        k = verts.size
+        rowptr = np.empty((k + 1, 2), dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        offset = 0
+        for i, v in enumerate(verts.tolist()):
+            base = graph.base_run_raw(v)
+            delta = graph.delta_neighbors(v)
+            rowptr[i, 0] = offset
+            rowptr[i, 1] = offset + base.size if delta.size else -1
+            chunks.append(base)
+            if delta.size:
+                chunks.append(delta)
+            offset += base.size + delta.size
+        rowptr[k, 0] = offset
+        rowptr[k, 1] = -1
+        colidx = np.concatenate(chunks) if chunks else _EMPTY.copy()
+        return cls(verts, rowptr, colidx.astype(VERTEX_DTYPE, copy=False))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cached(self) -> int:
+        return int(self.rowidx.shape[0])
+
+    @property
+    def total_bytes(self) -> int:
+        """Device-buffer footprint (int32 entries, as in the paper's kernel)."""
+        return int(
+            self.rowidx.shape[0] * BYTES_PER_NEIGHBOR
+            + self.rowptr.size * BYTES_PER_NEIGHBOR
+            + self.colidx.shape[0] * BYTES_PER_NEIGHBOR
+        )
+
+    def lookup(self, v: int) -> int:
+        """Binary-search ``rowidx``; returns the row or ``-1`` on miss.
+
+        This is the per-access probe the paper's kernel performs before every
+        neighbor-list read (Sec. V-C).
+        """
+        pos = int(np.searchsorted(self.rowidx, v))
+        if pos < self.rowidx.shape[0] and self.rowidx[pos] == v:
+            return pos
+        return -1
+
+    def probe_cost_ops(self) -> int:
+        """Comparison count of one rowidx binary search."""
+        k = self.num_cached
+        return max(1, int(np.ceil(np.log2(k + 1))))
+
+    # ------------------------------------------------------------------
+    def runs(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """The stored ``(base_with_marks, delta)`` runs of cached row ``row``."""
+        base_start, delta_start = int(self.rowptr[row, 0]), int(self.rowptr[row, 1])
+        end = int(self.rowptr[row + 1, 0])
+        if delta_start == -1:
+            return self.colidx[base_start:end], _EMPTY
+        return self.colidx[base_start:delta_start], self.colidx[delta_start:end]
+
+    def neighbors_old(self, row: int) -> np.ndarray:
+        """``N(v)`` from the cache: decode deletion marks, drop the delta run."""
+        base, _ = self.runs(row)
+        if base.size and base.min() < 0:
+            out = base.copy()
+            neg = out < 0
+            out[neg] = -out[neg] - 1
+            return out
+        return base
+
+    def neighbors_new_parts(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """``N'(v)`` from the cache: skip negative marks, keep the delta run."""
+        base, delta = self.runs(row)
+        if base.size and base.min() < 0:
+            base = base[base >= 0]
+        return base, delta

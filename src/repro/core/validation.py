@@ -1,0 +1,99 @@
+"""Cross-system consistency checking.
+
+The strongest correctness property in this codebase is that *every* system —
+GCSM, the four GPU baselines, the CPU loop, RapidFlow — computes the exact
+same signed ΔM for the same batch: they differ only in data movement.
+:func:`verify_stream` drives any set of systems over one stream and checks
+that property batch by batch, optionally against the brute-force oracle as
+well.  It is used by the integration tests and exposed through
+``python -m repro verify`` so a user who modifies the library (or doubts a
+result) can re-establish confidence in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import make_system
+from repro.core.reference import count_embeddings
+from repro.graphs.static_graph import StaticGraph
+from repro.graphs.stream import UpdateBatch
+from repro.query.pattern import QueryGraph
+from repro.utils import require
+
+__all__ = ["VerificationReport", "ConsistencyError", "verify_stream"]
+
+
+class ConsistencyError(AssertionError):
+    """Two systems (or a system and the oracle) disagreed on ΔM."""
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification run."""
+
+    systems: list[str]
+    query: str
+    num_batches: int
+    delta_per_batch: list[int] = field(default_factory=list)
+    oracle_checked: bool = False
+
+    @property
+    def total_delta(self) -> int:
+        return sum(self.delta_per_batch)
+
+    def describe(self) -> str:
+        oracle = "oracle-checked" if self.oracle_checked else "cross-checked"
+        return (
+            f"{len(self.systems)} systems agree on {self.query} over "
+            f"{self.num_batches} batches ({oracle}); total ΔM = {self.total_delta:+d}"
+        )
+
+
+def verify_stream(
+    system_names: list[str],
+    initial_graph: StaticGraph,
+    query: QueryGraph,
+    batches: list[UpdateBatch],
+    *,
+    against_oracle: bool = False,
+    seed: int = 0,
+) -> VerificationReport:
+    """Run every system over the stream; raise on any ΔM disagreement.
+
+    ``against_oracle=True`` additionally recounts embeddings from scratch
+    after every batch (exponential-ish cost — keep the graphs small).
+    """
+    require(len(system_names) >= 1, "need at least one system")
+    require(len(batches) >= 1, "need at least one batch")
+    systems = {
+        name: make_system(name, initial_graph, query, seed=seed)
+        for name in system_names
+    }
+    report = VerificationReport(
+        systems=list(system_names), query=query.name, num_batches=len(batches),
+        oracle_checked=against_oracle,
+    )
+    prev_count = count_embeddings(initial_graph, query) if against_oracle else None
+    for k, batch in enumerate(batches):
+        deltas = {}
+        for name, system in systems.items():
+            deltas[name] = system.process_batch(batch).delta_count
+        distinct = set(deltas.values())
+        if len(distinct) != 1:
+            raise ConsistencyError(
+                f"batch {k}: systems disagree on ΔM: {deltas}"
+            )
+        delta = distinct.pop()
+        if against_oracle:
+            snapshot = systems[system_names[0]].snapshot()
+            now = count_embeddings(snapshot, query)
+            assert prev_count is not None
+            if delta != now - prev_count:
+                raise ConsistencyError(
+                    f"batch {k}: systems report ΔM={delta} but the oracle "
+                    f"recount gives {now - prev_count}"
+                )
+            prev_count = now
+        report.delta_per_batch.append(delta)
+    return report

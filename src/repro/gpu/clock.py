@@ -1,0 +1,120 @@
+"""Simulated-time accounting.
+
+All experiment timings in the reproduction are *simulated*: deterministic
+functions of the traffic and work counted during a real run of the matching
+algorithm, priced with the :class:`~repro.gpu.device.DeviceConfig` channel
+model.  This keeps the figures machine-independent and reproducible, and is
+the substitution for the paper's wall-clock measurements on an RTX3090 (see
+DESIGN.md §2).  Wall-clock performance of the harness itself is measured
+separately by pytest-benchmark.
+
+The kernel model: a GPU (or parallel CPU) matching kernel overlaps compute
+with memory traffic across tens of thousands of threads, so its duration is
+the **maximum** of the compute time and each memory stream — except
+zero-copy and UM-fault stalls, which serialize with execution (paper
+Sec. II-C: "zero-copy access stalls the GPU kernel"), so they *add*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.counters import AccessCounters, Channel
+from repro.gpu.device import DeviceConfig
+
+__all__ = ["simulated_time_ns", "TimeBreakdown"]
+
+
+def simulated_time_ns(
+    counters: AccessCounters,
+    device: DeviceConfig,
+    *,
+    platform: str = "gpu",
+) -> float:
+    """Price one kernel's counted work as nanoseconds.
+
+    ``platform`` selects the executing processor: ``"gpu"`` (82x1024-thread
+    kernel), ``"cpu"`` (32-thread host baseline) or ``"cpu_scalar"``
+    (single-threaded host-side steps such as frequency estimation).
+    """
+    if platform == "gpu":
+        compute = counters.compute_ops / device.gpu_compute_ops_per_ns
+        overlap = max(
+            compute,
+            device.gpu_read_time_ns(counters.bytes_by_channel[Channel.GPU_GLOBAL]),
+        )
+        stalls = device.zero_copy_time_ns(
+            counters.transactions_by_channel[Channel.ZERO_COPY]
+        ) + device.um_fault_time_ns(counters.um_faults)
+        dma = device.dma_time_ns(counters.dma_bytes, counters.dma_requests) \
+            if counters.dma_requests else 0.0
+        return overlap + stalls + dma
+    if platform == "cpu":
+        compute = counters.compute_ops / device.cpu_compute_ops_per_ns
+        mem = device.cpu_read_time_ns(counters.bytes_by_channel[Channel.CPU_DRAM])
+        return max(compute, mem)
+    if platform == "cpu_scalar":
+        compute = counters.compute_ops / device.cpu_scalar_ops_per_ns
+        mem = device.cpu_read_time_ns(counters.bytes_by_channel[Channel.CPU_DRAM])
+        return max(compute, mem)
+    if platform == "cpu_estimator":
+        compute = counters.compute_ops / device.cpu_estimator_ops_per_ns
+        mem = device.cpu_read_time_ns(counters.bytes_by_channel[Channel.CPU_DRAM])
+        return max(compute, mem)
+    raise ValueError(f"unknown platform {platform!r}")
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-batch phase timings (the Fig. 13 / Table II decomposition).
+
+    * ``update_ns``   — step 1, folding ΔE into the CPU store
+    * ``estimate_ns`` — step 2, random-walk frequency estimation ("FE")
+    * ``pack_ns``     — step 3, DCSR packing + DMA to the GPU ("DC")
+    * ``match_ns``    — step 4, the incremental matching kernel
+    * ``reorg_ns``    — step 5, CPU graph reorganization
+    """
+
+    update_ns: float = 0.0
+    estimate_ns: float = 0.0
+    pack_ns: float = 0.0
+    match_ns: float = 0.0
+    reorg_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.update_ns
+            + self.estimate_ns
+            + self.pack_ns
+            + self.match_ns
+            + self.reorg_ns
+        )
+
+    @property
+    def fe_fraction(self) -> float:
+        """Frequency-estimation share of total time (Table II's "FE")."""
+        return self.estimate_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def dc_fraction(self) -> float:
+        """Data-copy share of total time (Table II's "DC")."""
+        return self.pack_ns / self.total_ns if self.total_ns else 0.0
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(
+            self.update_ns + other.update_ns,
+            self.estimate_ns + other.estimate_ns,
+            self.pack_ns + other.pack_ns,
+            self.match_ns + other.match_ns,
+            self.reorg_ns + other.reorg_ns,
+        )
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        return TimeBreakdown(
+            self.update_ns * factor,
+            self.estimate_ns * factor,
+            self.pack_ns * factor,
+            self.match_ns * factor,
+            self.reorg_ns * factor,
+        )

@@ -1,0 +1,175 @@
+"""Traffic and work counters.
+
+Every neighbor-list access the matching executor performs is recorded here,
+per channel, together with a per-vertex access histogram.  The histogram is
+the ground truth behind two paper artifacts: the access-locality CDF of
+Fig. 15a (top 5 % of vertices absorb ≥ 80 % of accesses) and the cache
+coverage metric of Fig. 15b (``|S ∩ T| / |S|``); it is also the "exact
+access frequency" ``C_v`` that the random-walk estimator of Sec. IV is
+validated against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Channel", "AccessCounters"]
+
+
+class Channel(enum.Enum):
+    """Where a memory access was served from."""
+
+    GPU_GLOBAL = "gpu_global"  # cached data in device memory
+    ZERO_COPY = "zero_copy"  # CPU pinned memory over PCIe, 128 B lines
+    UM = "unified_memory"  # page-fault-driven migration
+    CPU_DRAM = "cpu_dram"  # host-side execution (CPU baselines)
+
+
+@dataclass
+class AccessCounters:
+    """Mutable per-run counters.
+
+    ``bytes_by_channel`` / ``transactions_by_channel`` aggregate traffic;
+    ``compute_ops`` counts inner-loop work (intersection element steps plus
+    per-candidate bookkeeping); the vertex histogram counts *accesses to each
+    vertex's neighbor list* regardless of channel.
+    """
+
+    bytes_by_channel: dict[Channel, int] = field(
+        default_factory=lambda: {c: 0 for c in Channel}
+    )
+    transactions_by_channel: dict[Channel, int] = field(
+        default_factory=lambda: {c: 0 for c in Channel}
+    )
+    um_faults: int = 0
+    um_hits: int = 0
+    dma_bytes: int = 0
+    dma_requests: int = 0
+    compute_ops: int = 0
+    output_embeddings: int = 0
+
+    def __post_init__(self) -> None:
+        self._vertex_counts = np.zeros(1024, dtype=np.int64)
+        self._vertex_bytes = np.zeros(1024, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def record_access(self, channel: Channel, vertex: int, nbytes: int,
+                      transactions: int = 1) -> None:
+        """Record one neighbor-list access served by ``channel``."""
+        self.bytes_by_channel[channel] += nbytes
+        self.transactions_by_channel[channel] += transactions
+        if vertex >= self._vertex_counts.shape[0]:
+            size = max(vertex + 1, 2 * self._vertex_counts.shape[0])
+            grown = np.zeros(size, dtype=np.int64)
+            grown[: self._vertex_counts.shape[0]] = self._vertex_counts
+            self._vertex_counts = grown
+            grown_b = np.zeros(size, dtype=np.int64)
+            grown_b[: self._vertex_bytes.shape[0]] = self._vertex_bytes
+            self._vertex_bytes = grown_b
+        self._vertex_counts[vertex] += 1
+        self._vertex_bytes[vertex] += nbytes
+
+    def record_um_fault(self, pages: int) -> None:
+        self.um_faults += pages
+
+    def record_um_hit(self, pages: int) -> None:
+        self.um_hits += pages
+
+    def record_dma(self, nbytes: int, requests: int = 1) -> None:
+        self.dma_bytes += nbytes
+        self.dma_requests += requests
+
+    def record_compute(self, ops: int) -> None:
+        self.compute_ops += ops
+
+    def record_output(self, embeddings: int) -> None:
+        self.output_embeddings += embeddings
+
+    # ------------------------------------------------------------------
+    def cpu_access_bytes(self, um_page_bytes: int = 4096) -> int:
+        """Bytes read from CPU memory by the GPU — the quantity labeled on
+        the bars of paper Fig. 8-10 ("data access sizes from CPU").  For the
+        zero-copy-based systems this is the PCIe line traffic; UM faults are
+        charged at page granularity."""
+        return (
+            self.bytes_by_channel[Channel.ZERO_COPY]
+            + self.um_faults * um_page_bytes
+        )
+
+    @property
+    def total_access_count(self) -> int:
+        return int(self._vertex_counts.sum())
+
+    def vertex_access_counts(self, num_vertices: int | None = None) -> np.ndarray:
+        """Per-vertex access histogram, optionally padded/truncated to n."""
+        if num_vertices is None:
+            return self._vertex_counts.copy()
+        out = np.zeros(num_vertices, dtype=np.int64)
+        k = min(num_vertices, self._vertex_counts.shape[0])
+        out[:k] = self._vertex_counts[:k]
+        return out
+
+    def top_fraction_share(self, fraction: float, *, weight: str = "count") -> float:
+        """Share of memory access going to the top ``fraction`` of accessed
+        vertices (the Fig. 15a statistic).
+
+        ``weight="count"`` ranks and sums access *counts*; ``weight="bytes"``
+        ranks and sums the *bytes* those accesses moved — the quantity PCIe
+        actually carries, dominated by the large hub lists.
+        """
+        if weight == "count":
+            values = self._vertex_counts
+        elif weight == "bytes":
+            values = self._vertex_bytes
+        else:
+            raise ValueError(f"unknown weight {weight!r}")
+        values = values[self._vertex_counts > 0]
+        total = values.sum()
+        if total == 0:
+            return 0.0
+        # fraction is relative to vertices that were accessed at least once
+        k = max(1, int(round(fraction * values.size)))
+        top = np.sort(values)[::-1][:k].sum()
+        return float(top / total)
+
+    def access_cdf(self, fractions: list[float], *, weight: str = "count") -> list[float]:
+        """The Fig. 15a curve: cumulative access share at each top-fraction."""
+        return [self.top_fraction_share(f, weight=weight) for f in fractions]
+
+    def merge(self, other: "AccessCounters") -> None:
+        """Accumulate ``other`` into ``self`` (multi-batch aggregation)."""
+        for c in Channel:
+            self.bytes_by_channel[c] += other.bytes_by_channel[c]
+            self.transactions_by_channel[c] += other.transactions_by_channel[c]
+        self.um_faults += other.um_faults
+        self.um_hits += other.um_hits
+        self.dma_bytes += other.dma_bytes
+        self.dma_requests += other.dma_requests
+        self.compute_ops += other.compute_ops
+        self.output_embeddings += other.output_embeddings
+        if other._vertex_counts.shape[0] > self._vertex_counts.shape[0]:
+            grown = np.zeros(other._vertex_counts.shape[0], dtype=np.int64)
+            grown[: self._vertex_counts.shape[0]] = self._vertex_counts
+            self._vertex_counts = grown
+            grown_b = np.zeros(other._vertex_bytes.shape[0], dtype=np.int64)
+            grown_b[: self._vertex_bytes.shape[0]] = self._vertex_bytes
+            self._vertex_bytes = grown_b
+        self._vertex_counts[: other._vertex_counts.shape[0]] += other._vertex_counts
+        self._vertex_bytes[: other._vertex_bytes.shape[0]] += other._vertex_bytes
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "zero_copy_bytes": float(self.bytes_by_channel[Channel.ZERO_COPY]),
+            "gpu_global_bytes": float(self.bytes_by_channel[Channel.GPU_GLOBAL]),
+            "cpu_dram_bytes": float(self.bytes_by_channel[Channel.CPU_DRAM]),
+            "um_faults": float(self.um_faults),
+            "um_hits": float(self.um_hits),
+            "dma_bytes": float(self.dma_bytes),
+            "dma_requests": float(self.dma_requests),
+            "compute_ops": float(self.compute_ops),
+            "accesses": float(self.total_access_count),
+            "embeddings": float(self.output_embeddings),
+        }

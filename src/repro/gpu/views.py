@@ -1,0 +1,163 @@
+"""Device graph views: where the matching kernel's reads are served from.
+
+The executor (:mod:`repro.core.matching`) is backend-agnostic: every
+neighbor-list access goes through a :class:`GraphView`, which returns the
+requested runs *and* records the traffic on the channel that system would
+use.  The four views here model the paper's baselines:
+
+* :class:`HostCPUView`   — CPU baselines: everything is a host DRAM read.
+* :class:`ZeroCopyView`  — the ZC baseline: every access crosses PCIe in
+  128 B cache lines.
+* :class:`UnifiedMemoryView` — the UM baseline: page-granular migration
+  through an LRU page cache; cold pages fault.
+* :class:`FullDeviceView` — the VSGM baseline: data was bulk-copied to the
+  GPU beforehand, so accesses are global-memory reads (the upload itself is
+  charged by the caller through :class:`~repro.gpu.transfer.DmaEngine`).
+
+GCSM's cached view (DCSR cache + zero-copy fallback) lives with the cache
+logic in :mod:`repro.core.cache`.
+
+The returned arrays follow the Fig. 2 version semantics of
+:class:`~repro.query.plan.EdgeVersion`: ``OLD`` yields the single sorted
+pre-batch run, ``NEW``/``CURRENT`` yield the (base-kept, delta) pair of
+sorted runs whose union is the post-batch list.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.gpu.counters import AccessCounters, Channel
+from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig
+from repro.gpu.memory import HostMemoryLayout, UnifiedMemoryPager
+from repro.query.plan import EdgeVersion
+
+__all__ = [
+    "GraphView",
+    "HostCPUView",
+    "ZeroCopyView",
+    "UnifiedMemoryView",
+    "FullDeviceView",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class GraphView(ABC):
+    """Backend-routing wrapper around the dynamic graph.
+
+    ``fetch(v, version)`` returns a tuple of sorted runs whose union is the
+    requested adjacency version of ``v``, recording the access.
+    """
+
+    #: which platform prices this view's counters (see clock.simulated_time_ns)
+    platform: str = "gpu"
+
+    def __init__(self, graph: DynamicGraph, device: DeviceConfig,
+                 counters: AccessCounters) -> None:
+        self.graph = graph
+        self.device = device
+        self.counters = counters
+
+    # -- data plumbing ---------------------------------------------------
+    def _runs(self, v: int, version: EdgeVersion) -> tuple[np.ndarray, ...]:
+        if version is EdgeVersion.OLD:
+            return (self.graph.neighbors_old(v),)
+        base, delta = self.graph.neighbors_new_parts(v)
+        if delta.size:
+            return (base, delta)
+        return (base,)
+
+    @staticmethod
+    def _nbytes(runs: tuple[np.ndarray, ...]) -> int:
+        return sum(r.size for r in runs) * BYTES_PER_NEIGHBOR
+
+    # -- public API --------------------------------------------------------
+    def fetch(self, v: int, version: EdgeVersion) -> tuple[np.ndarray, ...]:
+        runs = self._runs(v, version)
+        self._record(v, self._nbytes(runs))
+        return runs
+
+    def degree_bound(self, v: int, version: EdgeVersion) -> int:
+        """Length of the versioned list *without* charging an access (the
+        kernel knows list lengths from its offset arrays)."""
+        if version is EdgeVersion.OLD:
+            return self.graph.degree_old(v)
+        return self.graph.degree_new(v)
+
+    @abstractmethod
+    def _record(self, v: int, nbytes: int) -> None:
+        """Charge ``nbytes`` of neighbor-list traffic for vertex ``v``."""
+
+
+class HostCPUView(GraphView):
+    """CPU execution: neighbor lists stream from host DRAM."""
+
+    platform = "cpu"
+
+    def _record(self, v: int, nbytes: int) -> None:
+        self.counters.record_access(Channel.CPU_DRAM, v, nbytes)
+
+
+class ZeroCopyView(GraphView):
+    """The ZC baseline: all lists pinned on the host, read over PCIe."""
+
+    def _record(self, v: int, nbytes: int) -> None:
+        lines = self.device.zero_copy_lines(nbytes)
+        self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)
+
+
+class UnifiedMemoryView(GraphView):
+    """The UM baseline: managed memory with demand paging.
+
+    The pager persists across fetches within a batch (pages stay resident
+    between kernel accesses) and is reset per batch by default, matching a
+    fresh kernel launch with cold device caches.
+    """
+
+    def __init__(self, graph: DynamicGraph, device: DeviceConfig,
+                 counters: AccessCounters) -> None:
+        super().__init__(graph, device, counters)
+        lengths = np.array(
+            [graph.degree_old(v) + graph.delta_neighbors(v).size
+             for v in range(graph.num_vertices)],
+            dtype=np.int64,
+        )
+        self.layout = HostMemoryLayout(lengths)
+        self.pager = UnifiedMemoryPager(device)
+
+    def _record(self, v: int, nbytes: int) -> None:
+        pages = self.layout.pages_for(v, nbytes, self.device.um_page_bytes)
+        hits, faults = self.pager.access(pages)
+        self.counters.record_um_hit(hits)
+        self.counters.record_um_fault(faults)
+        # resident-page reads still cost global-memory bandwidth
+        self.counters.record_access(Channel.UM, v, nbytes, transactions=len(pages))
+        self.counters.bytes_by_channel[Channel.GPU_GLOBAL] += nbytes
+
+
+class FullDeviceView(GraphView):
+    """The VSGM baseline: the k-hop neighborhood was bulk-uploaded first.
+
+    ``resident`` is the set of vertices whose lists were copied; VSGM's
+    construction guarantees every matched vertex is within the query
+    diameter of an updated edge, so fallthrough zero-copy reads indicate a
+    modeling hole — they are still served (and charged) rather than crashing.
+    """
+
+    def __init__(self, graph: DynamicGraph, device: DeviceConfig,
+                 counters: AccessCounters, resident: set[int]) -> None:
+        super().__init__(graph, device, counters)
+        self.resident = resident
+        self.fallthrough_accesses = 0
+
+    def _record(self, v: int, nbytes: int) -> None:
+        if v in self.resident:
+            self.counters.record_access(Channel.GPU_GLOBAL, v, nbytes)
+        else:  # pragma: no cover - guarded by VSGM's k-hop construction
+            self.fallthrough_accesses += 1
+            lines = self.device.zero_copy_lines(nbytes)
+            self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)

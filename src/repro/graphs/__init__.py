@@ -1,0 +1,17 @@
+"""Graph substrate: static CSR graphs, the dynamic CPU-side store, generators,
+and dynamic-stream derivation (paper Sec. V-A and Sec. VI-A)."""
+
+from repro.graphs.static_graph import StaticGraph
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.graphs.stream import EdgeUpdate, UpdateBatch, derive_stream
+from repro.graphs import generators, datasets
+
+__all__ = [
+    "StaticGraph",
+    "DynamicGraph",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "derive_stream",
+    "generators",
+    "datasets",
+]

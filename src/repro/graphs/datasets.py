@@ -1,0 +1,169 @@
+"""Scaled analogs of the paper's seven data graphs (Table I).
+
+Paper Table I:
+
+    =============== ========= ========= ======== =========
+    Graph           #Vertices #Edges    Max deg. Size (GB)
+    =============== ========= ========= ======== =========
+    Amazon (AZ)     0.4M      2.4M      1367     0.019
+    RoadNetPA (PA)  1.08M     1.5M      9        0.022
+    RoadNetCA (CA)  1.96M     2.7M      12       0.037
+    LiveJournal(LJ) 3.1M      77.1M     18311    0.308
+    Friendster (FR) 65.6M     3612M     5214     28.9
+    SF3K-fb         33.4M     5824M     4328     46.4
+    SF10K-fb        100.2M    18809M    4485     151.1
+    =============== ========= ========= ======== =========
+
+We reproduce the *relationships* that drive the evaluation rather than the
+absolute sizes: AZ/PA/CA/LJ fit in the (scaled) GPU memory, FR/SF3K/SF10K
+exceed the (scaled) cache buffer by roughly the paper's ratios (FR ≈ 2x,
+SF3K ≈ 3x, SF10K ≈ 6-10x the buffer), the road networks have uniformly tiny
+degrees, and the social graphs have heavy power-law skew.  The module-level
+``DEVICE_BUFFER_BYTES`` / ``DEVICE_TOTAL_BYTES`` constants are the matching
+scaled analog of the paper's 14 GB cache buffer inside 24 GB of GPU global
+memory (Sec. VI-A "Settings").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs.generators import powerlaw_graph, road_network
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "TABLE1_ORDER",
+    "build",
+    "table1_rows",
+    "DEVICE_BUFFER_BYTES",
+    "DEVICE_TOTAL_BYTES",
+    "DEVICE_KERNEL_RESERVE_BYTES",
+]
+
+#: Scaled GPU memory analog: the paper gives the matching kernel ~10 GB and
+#: the cache buffer the remaining 14 GB of the RTX3090's 24 GB.  We scale by
+#: ~1e4 so the big-graph analogs overflow the buffer at similar ratios.
+DEVICE_KERNEL_RESERVE_BYTES = 1_000_000
+DEVICE_BUFFER_BYTES = 1_400_000
+DEVICE_TOTAL_BYTES = DEVICE_KERNEL_RESERVE_BYTES + DEVICE_BUFFER_BYTES
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table I row: the scaled builder plus the paper's reference stats."""
+
+    name: str
+    kind: str  # "powerlaw" | "road"
+    builder: Callable[[int | np.random.Generator | None], StaticGraph]
+    paper_vertices: float  # millions
+    paper_edges: float  # millions
+    paper_max_degree: int
+    paper_size_gb: float
+    default_batch_size: int
+    #: paper Sec. VI-A update selection: fraction of edges (small graphs) or
+    #: an absolute count (large graphs, paper: 12 x 8192).
+    update_fraction: float | None
+    num_update_batches: int
+
+    def build(self, seed: int | np.random.Generator | None = 0) -> StaticGraph:
+        return self.builder(seed)
+
+    def num_updates(self, graph: StaticGraph, batch_size: int | None = None) -> int:
+        bs = batch_size or self.default_batch_size
+        if self.update_fraction is not None:
+            return max(bs, int(graph.num_edges * self.update_fraction))
+        return bs * self.num_update_batches
+
+    def fits_on_device(self, graph: StaticGraph) -> bool:
+        return graph.size_bytes() <= DEVICE_BUFFER_BYTES
+
+
+def _az(seed):  # Amazon co-purchase analog: mild power law, modest max degree
+    return powerlaw_graph(4_000, 6.0, exponent=2.6, max_degree=60, num_labels=4, seed=seed)
+
+
+def _pa(seed):  # RoadNet-PA analog
+    return road_network(100, 120, diagonal_fraction=0.25, extra_edge_fraction=0.015,
+                        num_labels=3, seed=seed)
+
+
+def _ca(seed):  # RoadNet-CA analog (bigger, slightly denser junctions)
+    return road_network(130, 160, diagonal_fraction=0.35, extra_edge_fraction=0.08,
+                        num_labels=3, seed=seed)
+
+
+def _lj(seed):  # LiveJournal analog: heavy skew, still fits the buffer
+    return powerlaw_graph(12_000, 12.0, exponent=2.15, max_degree=150, num_labels=4, seed=seed)
+
+
+def _fr(seed):  # Friendster analog: exceeds the scaled cache buffer ~2x
+    return powerlaw_graph(48_000, 14.0, exponent=2.25, max_degree=180, num_labels=5, seed=seed)
+
+
+def _sf3k(seed):  # LDBC SF3K analog: ~3x the buffer
+    return powerlaw_graph(44_000, 22.0, exponent=2.2, max_degree=240, num_labels=5, seed=seed)
+
+
+def _sf10k(seed):  # LDBC SF10K analog: ~6x the buffer
+    return powerlaw_graph(80_000, 26.0, exponent=2.2, max_degree=300, num_labels=5, seed=seed)
+
+
+TABLE1_ORDER = ["AZ", "PA", "CA", "LJ", "FR", "SF3K", "SF10K"]
+
+DATASETS: dict[str, DatasetSpec] = {
+    "AZ": DatasetSpec("AZ", "powerlaw", _az, 0.4, 2.4, 1367, 0.019,
+                      default_batch_size=512, update_fraction=0.10, num_update_batches=4),
+    "PA": DatasetSpec("PA", "road", _pa, 1.08, 1.5, 9, 0.022,
+                      default_batch_size=512, update_fraction=0.10, num_update_batches=4),
+    "CA": DatasetSpec("CA", "road", _ca, 1.96, 2.7, 12, 0.037,
+                      default_batch_size=512, update_fraction=0.10, num_update_batches=4),
+    "LJ": DatasetSpec("LJ", "powerlaw", _lj, 3.1, 77.1, 18311, 0.308,
+                      default_batch_size=512, update_fraction=0.10, num_update_batches=4),
+    "FR": DatasetSpec("FR", "powerlaw", _fr, 65.6, 3612.0, 5214, 28.9,
+                      default_batch_size=512, update_fraction=None, num_update_batches=6),
+    "SF3K": DatasetSpec("SF3K", "powerlaw", _sf3k, 33.4, 5824.0, 4328, 46.4,
+                        default_batch_size=512, update_fraction=None, num_update_batches=6),
+    "SF10K": DatasetSpec("SF10K", "powerlaw", _sf10k, 100.2, 18809.0, 4485, 151.1,
+                         default_batch_size=1024, update_fraction=None, num_update_batches=6),
+}
+
+
+def build(name: str, seed: int | np.random.Generator | None = 0) -> StaticGraph:
+    """Build the scaled analog of Table I graph ``name``."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; choose from {TABLE1_ORDER}") from None
+    return spec.build(seed)
+
+
+def table1_rows(seed: int = 0) -> list[dict[str, object]]:
+    """Materialize every analog and report the Table I columns side by side.
+
+    Used by the Table I bench target; each row holds both the paper's value
+    and the scaled analog's measured value.
+    """
+    rows: list[dict[str, object]] = []
+    for name in TABLE1_ORDER:
+        spec = DATASETS[name]
+        g = spec.build(seed)
+        rows.append(
+            {
+                "graph": name,
+                "vertices": g.num_vertices,
+                "edges": g.num_edges,
+                "max_degree": g.max_degree(),
+                "size_bytes": g.size_bytes(),
+                "fits_buffer": spec.fits_on_device(g),
+                "paper_vertices_M": spec.paper_vertices,
+                "paper_edges_M": spec.paper_edges,
+                "paper_max_degree": spec.paper_max_degree,
+                "paper_size_gb": spec.paper_size_gb,
+            }
+        )
+    return rows

@@ -1,0 +1,392 @@
+"""Dynamic CPU-side graph store (paper Sec. V-A, Fig. 5).
+
+The paper maintains the evolving data graph on the CPU as per-vertex
+neighbor arrays with four update rules:
+
+1. **Insertions append.**  New neighbors are appended to the end of the
+   (pinned) per-vertex array; arrays are pre-allocated at 2x and doubled when
+   full, giving O(1) amortized insertion.
+2. **New vertices** get an array sized to the average degree, and their
+   host/device addresses are appended to ``pHost`` / ``pDevice`` (also with
+   doubling headroom).
+3. **Deletions mark in place.**  A deleted neighbor ``v`` is found by binary
+   search in the sorted base run and overwritten with a negative sentinel.
+   We encode it as ``-(v + 1)`` so vertex 0 is representable; the encoding is
+   order-preserving under decode, so the base run stays logically sorted.
+4. **Reorganization** (step 5 of the pipeline, run *after* matching) removes
+   the deletion marks and merge-sorts the appended run back into the base run
+   so every list is sorted again for the next batch.
+
+Between steps 1 and 4 — i.e. exactly while the incremental matching kernel
+runs — the store exposes the two adjacency versions of paper Fig. 2:
+
+* ``N(v)``  — the *pre-batch* list: the base run with deletion marks decoded
+  back to their original values (deleted edges existed before the batch).
+* ``N'(v)`` — the *post-batch* list as two sorted runs: the base run with
+  deletion marks skipped, plus the sorted appended run ``ΔN(v)``.  Keeping
+  the two runs separate is what lets the matching kernel perform the
+  ``N' = N ∪ ΔN`` split intersections described in Sec. V-C.
+
+``host_address`` / ``device_address`` mirror the paper's ``pHost`` /
+``pDevice`` indirection tables: synthetic addresses that the simulated GPU
+zero-copy channel dereferences, so the reproduction exercises the same
+data-path shape even without real pinned memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.static_graph import StaticGraph
+from repro.graphs.stream import UpdateBatch
+from repro.utils import VERTEX_DTYPE, require
+
+__all__ = ["DynamicGraph", "ReorganizeStats"]
+
+_EMPTY = np.empty(0, dtype=VERTEX_DTYPE)
+
+
+def _encode_deleted(v: int) -> int:
+    return -(v + 1)
+
+
+def _decode(values: np.ndarray) -> np.ndarray:
+    """Decode a base run: deletion marks ``-(v+1)`` back to ``v``."""
+    out = values.copy()
+    neg = out < 0
+    if neg.any():
+        out[neg] = -out[neg] - 1
+    return out
+
+
+@dataclass
+class ReorganizeStats:
+    """Work accounting for one :meth:`DynamicGraph.reorganize` call.
+
+    ``merged_elements`` is the total number of elements the linear-time merge
+    touched; the bench harness prices it with the CPU cost model to reproduce
+    Table III.
+    """
+
+    lists_touched: int = 0
+    merged_elements: int = 0
+    deletions_dropped: int = 0
+    insertions_merged: int = 0
+
+
+class DynamicGraph:
+    """Mutable adjacency-list graph with the paper's update protocol."""
+
+    def __init__(self, initial: StaticGraph) -> None:
+        n = initial.num_vertices
+        self._labels: np.ndarray = initial.labels.copy()
+        self._arrays: list[np.ndarray] = []
+        self._base_len: list[int] = []
+        self._total_len: list[int] = []
+        self._realloc_count = 0
+        degs = initial.degrees()
+        self._avg_degree = max(1, int(round(float(degs.mean())) if n else 1))
+        for v in range(n):
+            nbrs = initial.neighbors(v)
+            cap = max(2, 2 * nbrs.size)
+            arr = np.empty(cap, dtype=VERTEX_DTYPE)
+            arr[: nbrs.size] = nbrs
+            self._arrays.append(arr)
+            self._base_len.append(int(nbrs.size))
+            self._total_len.append(int(nbrs.size))
+        # pHost / pDevice analogs: synthetic addresses into a flat pinned space.
+        self.host_address = np.arange(n, dtype=np.int64)
+        self.device_address = np.arange(n, dtype=np.int64)
+        self._touched: set[int] = set()
+        self._batch_open = False
+        self._num_edges = initial.num_edges
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count of the *current* (post-batch) state."""
+        return self._num_edges
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
+    @property
+    def realloc_count(self) -> int:
+        """Number of capacity-doubling reallocations performed so far."""
+        return self._realloc_count
+
+    @property
+    def batch_open(self) -> bool:
+        """True between :meth:`apply_batch` and :meth:`reorganize`."""
+        return self._batch_open
+
+    @property
+    def touched_vertices(self) -> set[int]:
+        """Vertices whose lists were modified by the open batch."""
+        return self._touched
+
+    def label(self, v: int) -> int:
+        return int(self._labels[v])
+
+    def degree_new(self, v: int) -> int:
+        """Post-batch degree of ``v`` (deletions excluded, insertions included)."""
+        arr = self._arrays[v]
+        base = arr[: self._base_len[v]]
+        deleted = int(np.count_nonzero(base < 0))
+        return self._total_len[v] - deleted
+
+    def degree_old(self, v: int) -> int:
+        """Pre-batch degree of ``v`` (the base-run length)."""
+        return self._base_len[v]
+
+    def degrees_new(self) -> np.ndarray:
+        return np.array([self.degree_new(v) for v in range(self.num_vertices)], dtype=np.int64)
+
+    def max_degree(self) -> int:
+        if self.num_vertices == 0:
+            return 0
+        return int(max(self.degree_new(v) for v in range(self.num_vertices)))
+
+    # ------------------------------------------------------------------
+    # Fig. 2 adjacency versions
+    # ------------------------------------------------------------------
+    def neighbors_old(self, v: int) -> np.ndarray:
+        """``N(v)``: the sorted pre-batch neighbor list.
+
+        Deletion marks are decoded back to their original vertex ids because
+        the deleted edges were present before the batch; appended insertions
+        are excluded.
+        """
+        base = self._arrays[v][: self._base_len[v]]
+        if base.size and base.min() < 0:
+            return _decode(base)
+        return base
+
+    def neighbors_new_parts(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``N'(v)`` as its two sorted runs ``(base_kept, delta)``.
+
+        ``base_kept`` is the base run with deletion marks skipped;
+        ``delta`` is the sorted appended run ``ΔN(v)``.  The union of the two
+        runs is exactly the post-batch adjacency of ``v``.
+        """
+        arr = self._arrays[v]
+        base = arr[: self._base_len[v]]
+        if base.size and base.min() < 0:
+            base = base[base >= 0]
+        delta = arr[self._base_len[v] : self._total_len[v]]
+        return base, delta
+
+    def neighbors_new(self, v: int) -> np.ndarray:
+        """``N'(v)`` materialized as one sorted array (convenience/oracle)."""
+        base, delta = self.neighbors_new_parts(v)
+        if delta.size == 0:
+            return base
+        merged = np.empty(base.size + delta.size, dtype=VERTEX_DTYPE)
+        merged[: base.size] = base
+        merged[base.size :] = delta
+        merged.sort()
+        return merged
+
+    def delta_neighbors(self, v: int) -> np.ndarray:
+        """``ΔN(v)``: the sorted neighbors appended by the open batch."""
+        return self._arrays[v][self._base_len[v] : self._total_len[v]]
+
+    def base_run_raw(self, v: int) -> np.ndarray:
+        """The base run *with* deletion marks (``-(w+1)`` entries) intact.
+
+        This is exactly the byte layout the paper copies into the DCSR
+        ``colidx`` array for an updated list ("the deleted neighbors are
+        marked, and the new neighbors are appended", Sec. V-B).
+        """
+        return self._arrays[v][: self._base_len[v]]
+
+    def has_edge_new(self, u: int, v: int) -> bool:
+        base, delta = self.neighbors_new_parts(u)
+        for run in (base, delta):
+            pos = np.searchsorted(run, v)
+            if pos < run.size and run[pos] == v:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # update protocol
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> None:
+        """Step 1 of the pipeline: fold ``ΔE`` into the store.
+
+        Insertions are appended per endpoint (and the appended runs sorted,
+        as the split intersections require sorted ``ΔN``); deletions are
+        binary-searched in the base run and marked negative.  The batch stays
+        "open" — :meth:`reorganize` must be called after matching.
+        """
+        require(not self._batch_open, "previous batch not reorganized yet")
+        self._batch_open = True
+        self._touched = set()
+        max_vertex = int(batch.max_vertex(default=-1))
+        if max_vertex >= self.num_vertices:
+            self._grow_vertices(max_vertex + 1, batch.new_vertex_labels)
+        ins = batch.insert_edges()
+        dels = batch.delete_edges()
+        for u, v in ins.tolist():
+            self._append_neighbor(u, v)
+            self._append_neighbor(v, u)
+        for u, v in dels.tolist():
+            self._mark_deleted(u, v)
+            self._mark_deleted(v, u)
+        # Sort each appended run once so ΔN participates in merge intersections.
+        for v in self._touched:
+            lo, hi = self._base_len[v], self._total_len[v]
+            if hi - lo > 1:
+                self._arrays[v][lo:hi] = np.sort(self._arrays[v][lo:hi])
+        self._num_edges += int(ins.shape[0]) - int(dels.shape[0])
+
+    def reorganize(self) -> ReorganizeStats:
+        """Step 5 of the pipeline: restore the sorted invariant.
+
+        For each touched list, drop deletion marks and merge the sorted
+        appended run into the base run in linear time, then close the batch.
+        """
+        require(self._batch_open, "no open batch to reorganize")
+        stats = ReorganizeStats()
+        for v in sorted(self._touched):
+            arr = self._arrays[v]
+            base = arr[: self._base_len[v]]
+            delta = arr[self._base_len[v] : self._total_len[v]]
+            kept = base[base >= 0] if (base.size and base.min() < 0) else base
+            dropped = base.size - kept.size
+            merged = np.empty(kept.size + delta.size, dtype=VERTEX_DTYPE)
+            # linear-time two-run merge (both runs sorted)
+            i = j = k = 0
+            kept_list, delta_list = kept, delta
+            while i < kept_list.size and j < delta_list.size:
+                if kept_list[i] <= delta_list[j]:
+                    merged[k] = kept_list[i]
+                    i += 1
+                else:
+                    merged[k] = delta_list[j]
+                    j += 1
+                k += 1
+            if i < kept_list.size:
+                merged[k:] = kept_list[i:]
+            elif j < delta_list.size:
+                merged[k:] = delta_list[j:]
+            new_len = merged.size
+            if new_len > arr.size:  # pragma: no cover - capacity always suffices
+                arr = self._reallocate(v, new_len)
+            arr[:new_len] = merged
+            self._base_len[v] = new_len
+            self._total_len[v] = new_len
+            stats.lists_touched += 1
+            stats.merged_elements += int(kept.size + delta.size)
+            stats.deletions_dropped += int(dropped)
+            stats.insertions_merged += int(delta.size)
+        self._touched = set()
+        self._batch_open = False
+        return stats
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _grow_vertices(self, new_count: int, new_labels: dict[int, int] | None) -> None:
+        old = self.num_vertices
+        for v in range(old, new_count):
+            cap = max(2, self._avg_degree)
+            self._arrays.append(np.empty(cap, dtype=VERTEX_DTYPE))
+            self._base_len.append(0)
+            self._total_len.append(0)
+        grown_labels = np.zeros(new_count, dtype=np.int64)
+        grown_labels[:old] = self._labels
+        if new_labels:
+            for v, lab in new_labels.items():
+                if old <= v < new_count:
+                    grown_labels[v] = lab
+        self._labels = grown_labels
+        addr = np.arange(new_count, dtype=np.int64)
+        addr[:old] = self.host_address
+        self.host_address = addr
+        self.device_address = addr.copy()
+
+    def _append_neighbor(self, u: int, v: int) -> None:
+        arr = self._arrays[u]
+        pos = self._total_len[u]
+        if pos >= arr.size:
+            arr = self._reallocate(u, 2 * max(1, arr.size))
+        arr[pos] = v
+        self._total_len[u] = pos + 1
+        self._touched.add(u)
+
+    def _reallocate(self, v: int, new_cap: int) -> np.ndarray:
+        old = self._arrays[v]
+        arr = np.empty(max(new_cap, old.size), dtype=VERTEX_DTYPE)
+        arr[: self._total_len[v]] = old[: self._total_len[v]]
+        self._arrays[v] = arr
+        self._realloc_count += 1
+        return arr
+
+    def _mark_deleted(self, u: int, v: int) -> None:
+        arr = self._arrays[u]
+        base = arr[: self._base_len[u]]
+        decoded = _decode(base) if (base.size and base.min() < 0) else base
+        pos = int(np.searchsorted(decoded, v))
+        require(
+            pos < decoded.size and decoded[pos] == v and base[pos] >= 0,
+            f"deletion of non-existent edge ({u}, {v})",
+        )
+        arr[pos] = _encode_deleted(v)
+        self._touched.add(u)
+
+    # ------------------------------------------------------------------
+    # conversions / oracles
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StaticGraph:
+        """Materialize the *current* state as a :class:`StaticGraph`.
+
+        With an open batch this is ``G_{k+1}`` (post-update); after
+        :meth:`reorganize` (or before :meth:`apply_batch`) it is the settled
+        snapshot.
+        """
+        edges: list[tuple[int, int]] = []
+        for v in range(self.num_vertices):
+            for w in self.neighbors_new(v).tolist():
+                if v < w:
+                    edges.append((v, w))
+        return StaticGraph.from_edges(self.num_vertices, edges, self._labels.copy())
+
+    def snapshot_old(self) -> StaticGraph:
+        """Materialize the pre-batch state ``G_k`` (requires an open batch)."""
+        require(self._batch_open, "snapshot_old requires an open batch")
+        edges: list[tuple[int, int]] = []
+        for v in range(self.num_vertices):
+            for w in self.neighbors_old(v).tolist():
+                if v < w:
+                    edges.append((v, w))
+        return StaticGraph.from_edges(self.num_vertices, edges, self._labels.copy())
+
+    def check_invariants(self) -> None:
+        """Validate store invariants (used by property tests)."""
+        for v in range(self.num_vertices):
+            base = self._arrays[v][: self._base_len[v]]
+            decoded = _decode(base)
+            require(bool(np.all(decoded[1:] > decoded[:-1])) if decoded.size > 1 else True,
+                    f"base run of {v} not strictly sorted")
+            delta = self._arrays[v][self._base_len[v] : self._total_len[v]]
+            if not self._batch_open:
+                require(delta.size == 0, f"closed batch but delta at {v}")
+                require(bool(base.size == 0 or base.min() >= 0),
+                        f"closed batch but deletion mark at {v}")
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"open_batch={self._batch_open}, touched={len(self._touched)})"
+        )

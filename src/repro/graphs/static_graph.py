@@ -1,0 +1,224 @@
+"""Immutable CSR graph with vertex labels.
+
+``StaticGraph`` is the exchange format of the library: generators produce it,
+the stream deriver consumes it to build the initial snapshot ``G_0`` plus the
+update sequence, and the reference matcher runs directly on it.  The dynamic
+store (:mod:`repro.graphs.dynamic_graph`) is initialized from a
+``StaticGraph`` and can be converted back for oracle comparisons.
+
+Graphs are simple (no self loops, no parallel edges), undirected, and carry an
+integer label per vertex — matching the paper's ``G = (V, E, L)`` definition
+(Sec. II-A).  Adjacency is stored CSR-style with each neighbor run sorted
+ascending, which is what both the WCOJ set intersections and the binary-search
+deletion marking rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.utils import VERTEX_DTYPE, is_sorted, require
+
+__all__ = ["StaticGraph"]
+
+
+class StaticGraph:
+    """Compressed-sparse-row undirected labeled graph.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64[n+1]`` CSR row pointer.
+    indices:
+        ``int64[2m]`` concatenated sorted neighbor lists.
+    labels:
+        ``int64[n]`` vertex labels.  Defaults to all-zero labels.
+    """
+
+    __slots__ = ("indptr", "indices", "labels", "_num_edges")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=VERTEX_DTYPE)
+        n = self.indptr.shape[0] - 1
+        if labels is None:
+            labels = np.zeros(n, dtype=np.int64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self._num_edges = int(self.indices.shape[0]) // 2
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: np.ndarray | Sequence[tuple[int, int]],
+        labels: np.ndarray | None = None,
+    ) -> "StaticGraph":
+        """Build from an ``(m, 2)`` edge array; duplicates/self-loops dropped.
+
+        Each undirected edge is stored in both adjacency directions.
+        """
+        edge_arr = np.asarray(edges, dtype=VERTEX_DTYPE).reshape(-1, 2)
+        if edge_arr.size:
+            lo = np.minimum(edge_arr[:, 0], edge_arr[:, 1])
+            hi = np.maximum(edge_arr[:, 0], edge_arr[:, 1])
+            keep = lo != hi
+            lo, hi = lo[keep], hi[keep]
+            require(
+                bool(lo.size == 0 or (lo.min() >= 0 and hi.max() < num_vertices)),
+                "edge endpoint out of range",
+            )
+            canon = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        else:
+            canon = np.empty((0, 2), dtype=VERTEX_DTYPE)
+        # symmetrize
+        src = np.concatenate([canon[:, 0], canon[:, 1]])
+        dst = np.concatenate([canon[:, 1], canon[:, 0]])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, labels)
+
+    @classmethod
+    def empty(cls, num_vertices: int, labels: np.ndarray | None = None) -> "StaticGraph":
+        """Graph with ``num_vertices`` isolated vertices."""
+        return cls(
+            np.zeros(num_vertices + 1, dtype=np.int64),
+            np.empty(0, dtype=VERTEX_DTYPE),
+            labels,
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """``int64[n]`` degree vector."""
+        return np.diff(self.indptr)
+
+    def max_degree(self) -> int:
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees().max(initial=0))
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor view (no copy) of vertex ``v``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def label(self, v: int) -> int:
+        return int(self.labels[v])
+
+    def edge_array(self) -> np.ndarray:
+        """Return the ``(m, 2)`` canonical (u < v) edge array."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self.degrees())
+        mask = src < self.indices
+        return np.stack([src[mask], self.indices[mask]], axis=1)
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        for u, v in self.edge_array():
+            yield int(u), int(v)
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the adjacency structure.
+
+        Used for the Table I "Size" column analog: 4 bytes per stored
+        directed neighbor entry plus the row-pointer array — the same
+        accounting the paper's C++/CUDA implementation would report for its
+        ``int32`` neighbor lists.
+        """
+        return int(self.indices.shape[0]) * 4 + (self.num_vertices + 1) * 8
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def without_edges(self, edges: np.ndarray) -> "StaticGraph":
+        """Copy of the graph with the given undirected edges removed."""
+        edge_arr = np.asarray(edges, dtype=VERTEX_DTYPE).reshape(-1, 2)
+        if edge_arr.size == 0:
+            return StaticGraph(self.indptr.copy(), self.indices.copy(), self.labels.copy())
+        lo = np.minimum(edge_arr[:, 0], edge_arr[:, 1])
+        hi = np.maximum(edge_arr[:, 0], edge_arr[:, 1])
+        remove = set(zip(lo.tolist(), hi.tolist()))
+        kept = [
+            (u, v)
+            for u, v in self.edge_array().tolist()
+            if (u, v) not in remove
+        ]
+        return StaticGraph.from_edges(self.num_vertices, kept, self.labels.copy())
+
+    def with_edges(self, edges: np.ndarray) -> "StaticGraph":
+        """Copy of the graph with the given undirected edges added."""
+        edge_arr = np.asarray(edges, dtype=VERTEX_DTYPE).reshape(-1, 2)
+        if edge_arr.size == 0:
+            return StaticGraph(self.indptr.copy(), self.indices.copy(), self.labels.copy())
+        combined = np.concatenate([self.edge_array(), edge_arr], axis=0)
+        return StaticGraph.from_edges(self.num_vertices, combined, self.labels.copy())
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        require(self.indptr.ndim == 1 and self.indptr.size >= 1, "bad indptr")
+        require(bool(self.indptr[0] == 0), "indptr must start at 0")
+        require(bool(np.all(np.diff(self.indptr) >= 0)), "indptr must be monotone")
+        require(int(self.indptr[-1]) == int(self.indices.shape[0]), "indptr/indices mismatch")
+        require(self.labels.shape[0] == self.num_vertices, "labels length mismatch")
+        n = self.num_vertices
+        if self.indices.size:
+            require(bool(self.indices.min() >= 0 and self.indices.max() < n), "neighbor out of range")
+        for v in range(n):
+            run = self.neighbors(v)
+            require(is_sorted(run), f"neighbors of {v} not sorted")
+            if run.size > 1:
+                require(bool(np.all(run[1:] != run[:-1])), f"duplicate neighbor at {v}")
+            pos = np.searchsorted(run, v)
+            require(not (pos < run.size and run[pos] == v), f"self loop at {v}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StaticGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.labels, other.labels)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"StaticGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"max_deg={self.max_degree()}, labels={int(self.labels.max(initial=0)) + 1})"
+        )

@@ -1,0 +1,100 @@
+"""Random query-pattern generation.
+
+Stress tests and ablations need patterns beyond the fixed Fig. 7 catalog:
+random connected labeled graphs with controllable size and density.  The
+generator guarantees connectivity (spanning-tree skeleton first, extra
+edges after) and can draw labels from a data graph's alphabet so generated
+queries have non-trivial match counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.pattern import WILDCARD_LABEL, QueryGraph
+from repro.utils import as_generator, require
+
+__all__ = ["random_query", "random_query_suite"]
+
+
+def random_query(
+    num_vertices: int,
+    num_edges: int | None = None,
+    *,
+    num_labels: int | None = None,
+    density: float = 0.3,
+    seed: int | np.random.Generator | None = 0,
+    name: str | None = None,
+) -> QueryGraph:
+    """Random connected pattern with ``num_vertices`` vertices.
+
+    ``num_edges`` defaults to the spanning tree plus ``density`` of the
+    remaining vertex pairs.  ``num_labels=None`` yields a wildcard pattern;
+    otherwise labels are drawn uniformly from ``0..num_labels-1``.
+    """
+    rng = as_generator(seed)
+    require(num_vertices >= 2, "pattern needs at least 2 vertices")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges is None:
+        extra = int(round(density * (max_edges - (num_vertices - 1))))
+        num_edges = (num_vertices - 1) + extra
+    require(num_vertices - 1 <= num_edges <= max_edges,
+            f"num_edges must be in [{num_vertices - 1}, {max_edges}]")
+
+    # spanning-tree skeleton: attach each vertex to a random earlier one
+    edges: set[tuple[int, int]] = set()
+    order = rng.permutation(num_vertices)
+    for i in range(1, num_vertices):
+        u = int(order[i])
+        v = int(order[rng.integers(0, i)])
+        edges.add((min(u, v), max(u, v)))
+    # densify with uniformly random non-edges
+    candidates = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+        if (u, v) not in edges
+    ]
+    rng.shuffle(candidates)
+    for u, v in candidates:
+        if len(edges) >= num_edges:
+            break
+        edges.add((u, v))
+
+    labels = None
+    if num_labels is not None:
+        require(num_labels >= 1, "num_labels must be >= 1")
+        labels = rng.integers(0, num_labels, size=num_vertices).tolist()
+    return QueryGraph(
+        num_vertices,
+        sorted(edges),
+        labels,
+        name or f"rand{num_vertices}v{num_edges}e",
+    )
+
+
+def random_query_suite(
+    count: int,
+    *,
+    min_vertices: int = 3,
+    max_vertices: int = 6,
+    num_labels: int | None = 3,
+    seed: int | np.random.Generator | None = 0,
+) -> list[QueryGraph]:
+    """A batch of random patterns spanning a size range (for stress tests)."""
+    rng = as_generator(seed)
+    require(count >= 1, "count must be >= 1")
+    require(2 <= min_vertices <= max_vertices, "bad size range")
+    suite = []
+    for i in range(count):
+        n = int(rng.integers(min_vertices, max_vertices + 1))
+        suite.append(
+            random_query(
+                n,
+                num_labels=num_labels,
+                density=float(rng.uniform(0.0, 0.6)),
+                seed=rng,
+                name=f"rand{i}_{n}v",
+            )
+        )
+    return suite

@@ -1,0 +1,79 @@
+"""Pattern automorphisms and duplicate-subgraph handling.
+
+The matching engine counts *embeddings* (injective label-preserving
+homomorphisms).  Every distinct matched subgraph is discovered once per
+automorphism of the pattern, so ``embeddings / |Aut(Q)|`` gives the count of
+distinct subgraphs — the quantity the paper's motif-counting experiments
+(Fig. 11) report.  Patterns are tiny (n ≤ 7), so plain permutation search is
+both simple and fast; results are memoized per pattern.
+
+For workloads that must *materialize* each subgraph once,
+:func:`is_canonical_embedding` keeps exactly the lexicographically-minimal
+member of each automorphism orbit — an exact (if brute-force) analog of the
+symmetry-breaking restrictions used by AutoMine/GraphZero and RapidFlow's
+dual-matching deduplication.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+from typing import Sequence
+
+from repro.query.pattern import QueryGraph
+
+__all__ = ["automorphisms", "automorphism_count", "is_canonical_embedding"]
+
+
+@lru_cache(maxsize=256)
+def _automorphisms_cached(key: tuple) -> tuple[tuple[int, ...], ...]:
+    num_vertices, edges, labels = key
+    edge_set = set(edges)
+    degs = [0] * num_vertices
+    for u, v in edges:
+        degs[u] += 1
+        degs[v] += 1
+    autos: list[tuple[int, ...]] = []
+    for perm in permutations(range(num_vertices)):
+        ok = True
+        for u in range(num_vertices):
+            if degs[perm[u]] != degs[u] or labels[perm[u]] != labels[u]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for u, v in edges:
+            a, b = perm[u], perm[v]
+            if ((a, b) if a < b else (b, a)) not in edge_set:
+                ok = False
+                break
+        if ok:
+            autos.append(perm)
+    return tuple(autos)
+
+
+def automorphisms(query: QueryGraph) -> tuple[tuple[int, ...], ...]:
+    """All label-preserving automorphisms of ``query`` (identity included)."""
+    return _automorphisms_cached((query.num_vertices, query.edges, query.labels))
+
+
+def automorphism_count(query: QueryGraph) -> int:
+    """``|Aut(Q)|`` — divide embedding counts by this for subgraph counts."""
+    return len(automorphisms(query))
+
+
+def is_canonical_embedding(query: QueryGraph, embedding: Sequence[int]) -> bool:
+    """True iff ``embedding`` is the lexicographically smallest tuple in its
+    automorphism orbit.
+
+    ``embedding[u]`` is the data vertex mapped to query vertex ``u``.  Each
+    distinct matched subgraph has exactly one canonical embedding, so
+    filtering with this predicate converts embedding enumeration into
+    distinct-subgraph enumeration.
+    """
+    emb = tuple(embedding)
+    for auto in automorphisms(query):
+        permuted = tuple(emb[auto[u]] for u in range(len(emb)))
+        if permuted < emb:
+            return False
+    return True

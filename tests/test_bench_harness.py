@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (workload memoization, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import RunResult, build_workload, clear_caches, print_table, run_stream
+from repro.query import query_by_name
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestBuildWorkload:
+    def test_memoized(self):
+        g0a, batches_a = build_workload("AZ", batch_size=32, seed=0)
+        g0b, batches_b = build_workload("AZ", batch_size=32, seed=0)
+        assert g0a is g0b
+        assert batches_a is batches_b
+
+    def test_distinct_keys_distinct_streams(self):
+        _, a = build_workload("AZ", batch_size=32, seed=0)
+        _, b = build_workload("AZ", batch_size=64, seed=0)
+        assert len(a[0]) == 32 and len(b[0]) == 64
+
+    def test_same_update_set_across_batch_sizes(self):
+        """Fig. 12's requirement: re-batching must not change the updates."""
+        _, a = build_workload("AZ", batch_size=32, num_batches=4, seed=0)
+        _, b = build_workload("AZ", batch_size=64, num_batches=2, seed=0)
+        edges_a = np.concatenate([x.edges for x in a[:4]])
+        edges_b = np.concatenate([x.edges for x in b[:2]])
+        assert np.array_equal(edges_a, edges_b)
+
+    def test_default_batch_size(self):
+        _, batches = build_workload("AZ", seed=0)
+        assert len(batches[0]) == 512  # AZ default
+
+    def test_clear_caches(self):
+        g0a, _ = build_workload("AZ", batch_size=32, seed=0)
+        clear_caches()
+        g0b, _ = build_workload("AZ", batch_size=32, seed=0)
+        assert g0a is not g0b
+        assert g0a == g0b  # deterministic rebuild
+
+
+class TestRunStream:
+    def test_aggregates_batches(self):
+        single = run_stream("ZC", "AZ", query_by_name("Q1"), batch_size=32,
+                            num_batches=1, seed=0)
+        multi = run_stream("ZC", "AZ", query_by_name("Q1"), batch_size=32,
+                           num_batches=3, seed=0)
+        assert multi.num_batches == 3
+        # first batch identical; totals accumulate, means stay comparable
+        assert multi.counters.total_access_count > single.counters.total_access_count
+        assert multi.breakdown.total_ns > 0
+
+    def test_result_fields(self):
+        r = run_stream("GCSM", "AZ", query_by_name("Q1"), batch_size=32, seed=0)
+        assert isinstance(r, RunResult)
+        assert r.system == "GCSM"
+        assert r.dataset == "AZ"
+        assert r.query == "Q1"
+        assert r.batch_size == 32
+        assert r.cache_hit_rate is not None
+        assert r.coverage_top1 is not None
+        assert r.total_ms == pytest.approx(r.breakdown.total_ns / 1e6)
+        assert r.dc_ms == pytest.approx(
+            (r.breakdown.estimate_ns + r.breakdown.pack_ns) / 1e6
+        )
+        assert "GCSM" in r.describe()
+
+    def test_system_kwargs_forwarded(self):
+        r = run_stream("GCSM", "AZ", query_by_name("Q1"), batch_size=32,
+                       seed=0, cache_budget_bytes=0)
+        assert r.cache_bytes <= 8  # empty DCSR sentinel only
+        assert r.cache_hit_rate == 0.0
+
+    def test_deterministic(self):
+        a = run_stream("GCSM", "AZ", query_by_name("Q2"), batch_size=32, seed=1)
+        clear_caches()
+        b = run_stream("GCSM", "AZ", query_by_name("Q2"), batch_size=32, seed=1)
+        assert a.breakdown.total_ns == b.breakdown.total_ns
+        assert a.delta_total == b.delta_total
+
+
+class TestPrintTable:
+    def test_formats_and_aligns(self, capsys):
+        print_table("demo", ["a", "long-header"], [[1, 2.5], ["xx", 3.25]])
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "long-header" in out
+        assert "2.500" in out  # float formatting
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 5  # title, header, rule, two rows

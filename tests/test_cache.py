@@ -1,0 +1,123 @@
+"""Tests for cache policies and the cached device view (paper Sec. V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    CachedDeviceView,
+    DegreeCachePolicy,
+    FrequencyCachePolicy,
+    select_within_budget,
+)
+from repro.core.dcsr import DcsrCache, packed_size_bytes
+from repro.graphs import DynamicGraph, StaticGraph, UpdateBatch
+from repro.graphs.generators import erdos_renyi
+from repro.gpu import AccessCounters, Channel, default_device
+from repro.query.plan import EdgeVersion
+
+
+def settled_store(n=30, seed=0):
+    return DynamicGraph(erdos_renyi(n, 4.0, seed=seed))
+
+
+class TestSelectWithinBudget:
+    def test_respects_budget_prefix(self):
+        dg = settled_store()
+        ranked = np.arange(10, dtype=np.int64)
+        sizes = [packed_size_bytes(dg.degree_new(v)) for v in range(10)]
+        budget = sizes[0] + sizes[1]
+        chosen = select_within_budget(dg, ranked, budget)
+        assert chosen.tolist() == [0, 1]
+
+    def test_zero_budget(self):
+        dg = settled_store()
+        assert select_within_budget(dg, np.arange(5), 0).size == 0
+
+    def test_large_budget_takes_all(self):
+        dg = settled_store()
+        chosen = select_within_budget(dg, np.arange(dg.num_vertices), 10**9)
+        assert chosen.size == dg.num_vertices
+
+
+class TestPolicies:
+    def test_frequency_policy_ranks_by_estimate(self):
+        dg = settled_store()
+        freq = np.zeros(dg.num_vertices)
+        freq[7], freq[3], freq[11] = 100.0, 50.0, 10.0
+        ranked = FrequencyCachePolicy().rank(dg, freq)
+        assert ranked.tolist() == [7, 3, 11]
+
+    def test_frequency_policy_requires_estimates(self):
+        dg = settled_store()
+        assert FrequencyCachePolicy().rank(dg, None).size == 0
+
+    def test_degree_policy_ranks_by_degree(self):
+        dg = settled_store(seed=4)
+        ranked = DegreeCachePolicy().rank(dg, None)
+        degs = [dg.degree_new(int(v)) for v in ranked]
+        assert degs == sorted(degs, reverse=True)
+        # isolated vertices excluded
+        assert all(d > 0 for d in degs)
+
+    def test_policy_names(self):
+        assert FrequencyCachePolicy().name == "frequency"
+        assert DegreeCachePolicy().name == "degree"
+
+
+class TestCachedDeviceView:
+    def make(self, cached_vertices):
+        g = StaticGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        dg = DynamicGraph(g)
+        dg.apply_batch(UpdateBatch([(0, 2), (0, 4)], [1, -1]))
+        counters = AccessCounters()
+        cache = DcsrCache.build(dg, np.asarray(cached_vertices, dtype=np.int64))
+        view = CachedDeviceView(dg, default_device(), counters, cache)
+        return dg, view, counters
+
+    def test_hit_reads_gpu_global(self):
+        dg, view, counters = self.make([0, 2])
+        runs = view.fetch(0, EdgeVersion.NEW)
+        merged = sorted(np.concatenate(runs).tolist())
+        assert merged == [1, 2]  # (0,4) deleted, (0,2) inserted
+        assert view.hits == 1 and view.misses == 0
+        assert counters.bytes_by_channel[Channel.GPU_GLOBAL] > 0
+        assert counters.bytes_by_channel[Channel.ZERO_COPY] == 0
+
+    def test_miss_falls_back_to_zero_copy(self):
+        dg, view, counters = self.make([0, 2])
+        (old,) = view.fetch(3, EdgeVersion.OLD)
+        assert old.tolist() == [2, 4]
+        assert view.misses == 1
+        assert counters.bytes_by_channel[Channel.ZERO_COPY] > 0
+
+    def test_cached_old_version_decodes_marks(self):
+        dg, view, _ = self.make([0, 4])
+        (old,) = view.fetch(0, EdgeVersion.OLD)
+        assert old.tolist() == [1, 4]  # deletion mark decoded back
+
+    def test_hit_equals_store_for_all_vertices(self):
+        g = erdos_renyi(40, 5.0, seed=6)
+        from repro.graphs.stream import derive_stream
+        g0, batches = derive_stream(g, update_fraction=0.4, batch_size=12, seed=6)
+        dg = DynamicGraph(g0)
+        dg.apply_batch(batches[0])
+        cache = DcsrCache.build(dg, np.arange(dg.num_vertices))
+        view = CachedDeviceView(dg, default_device(), AccessCounters(), cache)
+        for v in range(dg.num_vertices):
+            (old,) = view.fetch(v, EdgeVersion.OLD)
+            assert old.tolist() == dg.neighbors_old(v).tolist()
+            merged = sorted(np.concatenate(view.fetch(v, EdgeVersion.NEW)).tolist())
+            assert merged == dg.neighbors_new(v).tolist()
+
+    def test_hit_rate(self):
+        dg, view, _ = self.make([0])
+        view.fetch(0, EdgeVersion.NEW)
+        view.fetch(1, EdgeVersion.NEW)
+        view.fetch(1, EdgeVersion.NEW)
+        assert view.hit_rate == pytest.approx(1 / 3)
+
+    def test_probe_cost_charged(self):
+        dg, view, counters = self.make([0, 2])
+        before = counters.compute_ops
+        view.fetch(0, EdgeVersion.NEW)
+        assert counters.compute_ops > before

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURE_RUNNERS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.system == "GCSM"
+        assert args.dataset == "FR"
+        assert args.query == "Q1"
+
+    def test_invalid_choices_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "TPU"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_all_figures_registered(self):
+        # every Table/Figure of the paper has a runner
+        expected = {"table1", "fig7", "fig8", "fig9", "fig10", "fig11",
+                    "fig12", "fig13", "fig14", "fig15", "table2", "table3", "um"}
+        assert expected == set(FIGURE_RUNNERS)
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("AZ", "PA", "CA", "LJ", "FR", "SF3K", "SF10K"):
+            assert name in out
+
+    def test_list_queries(self, capsys):
+        assert main(["list-queries"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Q1", "Q6"):
+            assert name in out
+
+    def test_run_with_json_export(self, capsys, tmp_path):
+        path = tmp_path / "record.json"
+        code = main([
+            "run", "--system", "ZC", "--dataset", "AZ", "--query", "Q1",
+            "--batch-size", "32", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ΔM total" in out
+        payload = json.loads(path.read_text())
+        assert payload[0]["system"] == "ZC"
+        assert payload[0]["dataset"] == "AZ"
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "--systems", "GCSM,ZC", "--dataset", "AZ",
+            "--query", "Q1", "--batch-size", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GCSM vs ZC" in out
+
+    def test_figure_fig7(self, capsys):
+        assert main(["figure", "fig7"]) == 0
+        assert "Fig. 7" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_verify_passes(self, capsys):
+        code = main([
+            "verify", "--systems", "GCSM,ZC", "--dataset", "AZ",
+            "--query", "Q1", "--batch-size", "16", "--batches", "2",
+        ])
+        assert code == 0
+        assert "systems agree" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Tests for the DCSR packed cache format (paper Sec. V-B, Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcsr import DcsrCache, packed_size_bytes
+from repro.graphs import DynamicGraph, StaticGraph, UpdateBatch
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.stream import derive_stream
+
+
+def store_with_batch():
+    # Fig. 5-like scenario: vertex 3 gains neighbor, vertex 1 loses one
+    g = StaticGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)])
+    dg = DynamicGraph(g)
+    dg.apply_batch(UpdateBatch([(0, 3), (1, 4)], [1, -1]))
+    return dg
+
+
+class TestBuild:
+    def test_paper_fig6_structure(self):
+        dg = store_with_batch()
+        cache = DcsrCache.build(dg, np.array([3, 1]))  # unsorted input
+        assert cache.rowidx.tolist() == [1, 3]  # sorted
+        # vertex 1: base [0, 2, -(4+1)] (deletion mark), no delta
+        base1, delta1 = cache.runs(0)
+        assert base1.tolist() == [0, 2, -5]
+        assert delta1.size == 0
+        assert cache.rowptr[0].tolist() == [0, -1]
+        # vertex 3: base [2, 4], delta [0]
+        base3, delta3 = cache.runs(1)
+        assert base3.tolist() == [2, 4]
+        assert delta3.tolist() == [0]
+        assert cache.rowptr[1, 0] == 3
+        assert cache.rowptr[1, 1] == 5
+        # sentinel carries len(colidx)
+        assert cache.rowptr[2, 0] == cache.colidx.shape[0] == 6
+
+    def test_empty_selection(self):
+        dg = store_with_batch()
+        cache = DcsrCache.build(dg, np.empty(0, dtype=np.int64))
+        assert cache.num_cached == 0
+        assert cache.lookup(1) == -1
+        assert cache.total_bytes == 2 * 4  # sentinel rowptr only
+
+    def test_duplicate_vertices_deduped(self):
+        dg = store_with_batch()
+        cache = DcsrCache.build(dg, np.array([3, 3, 1]))
+        assert cache.num_cached == 2
+
+    def test_out_of_range_rejected(self):
+        dg = store_with_batch()
+        with pytest.raises(ValueError):
+            DcsrCache.build(dg, np.array([99]))
+
+
+class TestLookupAndRuns:
+    def test_lookup_hit_and_miss(self):
+        dg = store_with_batch()
+        cache = DcsrCache.build(dg, np.array([1, 3]))
+        assert cache.lookup(1) == 0
+        assert cache.lookup(3) == 1
+        assert cache.lookup(0) == -1
+        assert cache.lookup(4) == -1
+
+    def test_version_semantics_match_store(self):
+        """Cached OLD/NEW views must equal the dynamic store's."""
+        g = erdos_renyi(60, 5.0, seed=3)
+        g0, batches = derive_stream(g, update_fraction=0.4, batch_size=20, seed=3)
+        dg = DynamicGraph(g0)
+        dg.apply_batch(batches[0])
+        verts = np.arange(dg.num_vertices, dtype=np.int64)
+        cache = DcsrCache.build(dg, verts)
+        for v in range(dg.num_vertices):
+            row = cache.lookup(v)
+            assert row >= 0
+            assert cache.neighbors_old(row).tolist() == dg.neighbors_old(v).tolist()
+            cb, cd = cache.neighbors_new_parts(row)
+            sb, sd = dg.neighbors_new_parts(v)
+            assert cb.tolist() == sb.tolist()
+            assert cd.tolist() == sd.tolist()
+
+    def test_probe_cost_logarithmic(self):
+        dg = store_with_batch()
+        small = DcsrCache.build(dg, np.array([1]))
+        big = DcsrCache.build(dg, np.arange(5))
+        assert small.probe_cost_ops() <= big.probe_cost_ops()
+
+
+class TestSizes:
+    def test_total_bytes_accounting(self):
+        dg = store_with_batch()
+        cache = DcsrCache.build(dg, np.array([1, 3]))
+        expected = (2 + 3 * 2 + cache.colidx.shape[0]) * 4
+        assert cache.total_bytes == expected
+
+    def test_packed_size_helper(self):
+        assert packed_size_bytes(0) == 12
+        assert packed_size_bytes(10) == 52

@@ -1,0 +1,181 @@
+"""Unit + property tests for the dynamic CPU-side store (paper Sec. V-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import DynamicGraph, StaticGraph, UpdateBatch
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.stream import derive_stream
+
+
+def base_graph():
+    # path 0-1-2-3 plus chord 0-2
+    return StaticGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)], np.array([0, 1, 0, 1]))
+
+
+class TestInsertions:
+    def test_insert_appends_to_delta(self):
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 3)], [1]))
+        assert dg.delta_neighbors(0).tolist() == [3]
+        assert dg.delta_neighbors(3).tolist() == [0]
+        assert dg.neighbors_old(0).tolist() == [1, 2]
+        base, delta = dg.neighbors_new_parts(0)
+        assert base.tolist() == [1, 2] and delta.tolist() == [3]
+        assert dg.neighbors_new(0).tolist() == [1, 2, 3]
+
+    def test_delta_run_sorted(self):
+        dg = DynamicGraph(StaticGraph.empty(6))
+        dg.apply_batch(UpdateBatch([(0, 5), (0, 2), (0, 4)], [1, 1, 1]))
+        assert dg.delta_neighbors(0).tolist() == [2, 4, 5]
+
+    def test_edge_count_updated(self):
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 3), (1, 3)], [1, 1]))
+        assert dg.num_edges == 6
+
+    def test_new_vertices_grow_store(self):
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(2, 6)], [1], new_vertex_labels={6: 7, 5: 3}))
+        assert dg.num_vertices == 7
+        assert dg.label(6) == 7
+        assert dg.label(5) == 3
+        assert dg.label(4) == 0  # implicit new vertex gets default label
+        assert dg.neighbors_new(6).tolist() == [2]
+        assert dg.host_address.shape[0] == 7
+        assert dg.device_address.shape[0] == 7
+
+    def test_amortized_doubling(self):
+        dg = DynamicGraph(StaticGraph.empty(2))
+        n = 64
+        for i in range(n):
+            dg.apply_batch(UpdateBatch([(0, i + 2)], [1], new_vertex_labels={}))
+            dg.reorganize()
+        # O(log n) reallocations for vertex 0, not O(n)
+        assert dg.realloc_count <= 4 * int(np.log2(n) + 2)
+
+
+class TestDeletions:
+    def test_delete_marks_negative_in_base(self):
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 2)], [-1]))
+        # N still sees the deleted edge; N' does not
+        assert dg.neighbors_old(0).tolist() == [1, 2]
+        base, delta = dg.neighbors_new_parts(0)
+        assert base.tolist() == [1] and delta.size == 0
+        assert not dg.has_edge_new(0, 2)
+        assert dg.has_edge_new(0, 1)
+
+    def test_delete_vertex_zero_neighbor(self):
+        # the -(v+1) encoding must represent deletion of neighbor 0
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 1)], [-1]))
+        assert dg.neighbors_old(1).tolist() == [0, 2]
+        base, _ = dg.neighbors_new_parts(1)
+        assert base.tolist() == [2]
+
+    def test_delete_missing_edge_rejected(self):
+        dg = DynamicGraph(base_graph())
+        with pytest.raises(ValueError):
+            dg.apply_batch(UpdateBatch([(1, 3)], [-1]))
+
+    def test_degrees_old_new(self):
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 2), (0, 3)], [-1, 1]))
+        assert dg.degree_old(0) == 2
+        assert dg.degree_new(0) == 2  # -1 +1
+        assert dg.degree_old(3) == 1
+        assert dg.degree_new(3) == 2
+
+
+class TestReorganize:
+    def test_reorganize_restores_sorted_invariant(self):
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 2), (0, 3)], [-1, 1]))
+        snap = dg.snapshot()
+        stats = dg.reorganize()
+        dg.check_invariants()
+        assert dg.snapshot() == snap
+        assert stats.lists_touched == 3  # vertices 0, 2, 3 (vertex 0 touched twice)
+        assert stats.deletions_dropped == 2  # both directions of (0,2)
+        assert stats.insertions_merged == 2
+
+    def test_batch_lifecycle_enforced(self):
+        dg = DynamicGraph(base_graph())
+        with pytest.raises(ValueError):
+            dg.reorganize()
+        dg.apply_batch(UpdateBatch([(0, 3)], [1]))
+        with pytest.raises(ValueError):
+            dg.apply_batch(UpdateBatch([(1, 3)], [1]))
+        dg.reorganize()
+        dg.apply_batch(UpdateBatch([(1, 3)], [1]))
+        dg.reorganize()
+        assert dg.num_edges == 6
+
+    def test_snapshot_old_requires_open_batch(self):
+        dg = DynamicGraph(base_graph())
+        with pytest.raises(ValueError):
+            dg.snapshot_old()
+
+
+class TestSnapshots:
+    def test_snapshot_old_equals_initial(self):
+        g = erdos_renyi(60, 4.0, seed=7)
+        g0, batches = derive_stream(g, update_fraction=0.3, batch_size=16, seed=7)
+        dg = DynamicGraph(g0)
+        dg.apply_batch(batches[0])
+        assert dg.snapshot_old() == g0
+
+    def test_replay_stream_matches_incremental_application(self):
+        g = erdos_renyi(60, 4.0, seed=11)
+        g0, batches = derive_stream(g, update_fraction=0.4, batch_size=8, seed=11)
+        dg = DynamicGraph(g0)
+        expected = g0
+        for batch in batches:
+            expected = expected.with_edges(batch.insert_edges()).without_edges(batch.delete_edges())
+            dg.apply_batch(batch)
+            assert dg.snapshot() == expected
+            dg.reorganize()
+            dg.check_invariants()
+            assert dg.snapshot() == expected
+            assert dg.num_edges == expected.num_edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_random_batches_roundtrip(seed):
+    """For random graphs and random signed batches, snapshot(old/new) always
+    matches independent edge-set arithmetic and reorganize() is a no-op on
+    the logical graph."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 25))
+    g = erdos_renyi(n, 3.0, seed=int(rng.integers(0, 2**31)))
+    dg = DynamicGraph(g)
+    current = g
+    for _ in range(3):
+        edges = current.edge_array()
+        dels = []
+        if edges.shape[0]:
+            k = int(rng.integers(0, min(4, edges.shape[0]) + 1))
+            if k:
+                dels = edges[rng.choice(edges.shape[0], size=k, replace=False)].tolist()
+        ins = []
+        for _ in range(int(rng.integers(0, 4))):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u != v and not current.has_edge(u, v):
+                if (min(u, v), max(u, v)) not in {tuple(sorted(e)) for e in ins}:
+                    ins.append((u, v))
+        updates = [(e, -1) for e in dels] + [(e, 1) for e in ins]
+        if not updates:
+            continue
+        batch = UpdateBatch([e for e, _ in updates], [s for _, s in updates])
+        dg.apply_batch(batch)
+        assert dg.snapshot_old() == current
+        current = current.without_edges(np.array(dels).reshape(-1, 2)).with_edges(
+            np.array(ins).reshape(-1, 2)
+        )
+        assert dg.snapshot() == current
+        dg.reorganize()
+        dg.check_invariants()
+        assert dg.snapshot() == current

@@ -1,0 +1,154 @@
+"""End-to-end tests for the GCSM engine (the five-step pipeline of Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GCSMEngine
+from repro.core.reference import count_embeddings
+from repro.graphs import StaticGraph, UpdateBatch
+from repro.graphs.generators import erdos_renyi, powerlaw_graph
+from repro.graphs.stream import derive_stream
+from repro.query import QueryGraph
+
+TRIANGLE = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+TAILED = QueryGraph(4, [(0, 1), (1, 2), (0, 2), (2, 3)], [0, 0, 1, 1], name="tailed")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query", [TRIANGLE, TAILED], ids=lambda q: q.name)
+    def test_stream_delta_counts_match_oracle(self, query):
+        g = erdos_renyi(50, 5.0, num_labels=2, seed=1)
+        g0, batches = derive_stream(g, update_fraction=0.4, batch_size=16, seed=1)
+        engine = GCSMEngine(g0, query, seed=2)
+        prev = count_embeddings(g0, query)
+        for batch in batches[:4]:
+            result = engine.process_batch(batch)
+            now = count_embeddings(engine.snapshot(), query)
+            assert result.delta_count == now - prev
+            prev = now
+        assert engine.batches_processed == 4
+        assert engine.total_delta == prev - count_embeddings(g0, query)
+
+    def test_degree_policy_equally_correct(self):
+        g = erdos_renyi(40, 5.0, num_labels=1, seed=3)
+        g0, batches = derive_stream(g, update_fraction=0.3, batch_size=12, seed=3)
+        freq_engine = GCSMEngine(g0, TRIANGLE, policy="frequency", seed=4)
+        deg_engine = GCSMEngine(g0, TRIANGLE, policy="degree", seed=4)
+        for batch in batches[:3]:
+            a = freq_engine.process_batch(batch)
+            b = deg_engine.process_batch(batch)
+            assert a.delta_count == b.delta_count  # caching never changes results
+
+    def test_empty_batch_rejected(self):
+        g = erdos_renyi(10, 3.0, seed=5)
+        engine = GCSMEngine(g, TRIANGLE)
+        with pytest.raises(ValueError):
+            engine.process_batch(UpdateBatch(np.empty((0, 2)), np.empty(0)))
+
+    def test_unknown_policy_rejected(self):
+        g = erdos_renyi(10, 3.0, seed=5)
+        with pytest.raises(ValueError):
+            GCSMEngine(g, TRIANGLE, policy="magic")
+
+
+class TestPipelineArtifacts:
+    def make_result(self, **kwargs):
+        g = powerlaw_graph(800, 8.0, max_degree=80, num_labels=1, seed=6)
+        g0, batches = derive_stream(g, num_updates=64, batch_size=64, seed=6)
+        engine = GCSMEngine(g0, TRIANGLE, seed=7, **kwargs)
+        return engine, engine.process_batch(batches[0])
+
+    def test_breakdown_phases_populated(self):
+        _, r = self.make_result()
+        bd = r.breakdown
+        assert bd.update_ns > 0
+        assert bd.estimate_ns > 0  # frequency policy ran FE
+        assert bd.pack_ns > 0
+        assert bd.match_ns > 0
+        assert bd.reorg_ns > 0
+        assert bd.total_ns == pytest.approx(
+            bd.update_ns + bd.estimate_ns + bd.pack_ns + bd.match_ns + bd.reorg_ns
+        )
+
+    def test_cache_artifacts(self):
+        engine, r = self.make_result()
+        assert r.cache_bytes <= engine.cache_budget_bytes + 64
+        assert r.cached_vertices.size > 0
+        assert set(np.unique(r.cached_vertices).tolist()) == set(r.cached_vertices.tolist())
+        assert r.cache_hits + r.cache_misses > 0
+
+    def test_estimation_attached(self):
+        _, r = self.make_result()
+        assert r.estimation is not None
+        assert r.estimation.sampled_vertices.size >= r.cached_vertices.size
+
+    def test_degree_policy_skips_estimation(self):
+        _, r = self.make_result(policy="degree")
+        assert r.estimation is None
+        assert r.breakdown.estimate_ns == 0
+
+    def test_cache_budget_respected(self):
+        engine, r = self.make_result(cache_budget_bytes=500)
+        assert r.cache_bytes <= 500 + 64
+
+    def test_coverage_metric_bounds(self):
+        _, r = self.make_result()
+        for frac in (0.01, 0.05, 0.5, 1.0):
+            assert 0.0 <= r.coverage(frac) <= 1.0
+        # full-graph cache would give coverage 1; empty gives 0 when accessed
+        assert r.coverage(1.0) <= 1.0
+
+    def test_cpu_access_bytes_less_with_cache(self):
+        """GCSM's zero-copy traffic must be below a cache-less run."""
+        g = powerlaw_graph(800, 8.0, max_degree=80, num_labels=1, seed=6)
+        g0, batches = derive_stream(g, num_updates=64, batch_size=64, seed=6)
+        cached = GCSMEngine(g0, TRIANGLE, seed=7).process_batch(batches[0])
+        uncached = GCSMEngine(
+            g0, TRIANGLE, seed=7, cache_budget_bytes=0
+        ).process_batch(batches[0])
+        assert cached.cpu_access_bytes < uncached.cpu_access_bytes
+        assert cached.delta_count == uncached.delta_count
+
+    def test_process_stream(self):
+        g = erdos_renyi(40, 4.0, num_labels=1, seed=8)
+        g0, batches = derive_stream(g, update_fraction=0.3, batch_size=10, seed=8)
+        engine = GCSMEngine(g0, TRIANGLE, seed=9)
+        results = engine.process_stream(batches[:3])
+        assert len(results) == 3
+        assert engine.batches_processed == 3
+
+    def test_adaptive_walks_mode(self):
+        g = erdos_renyi(40, 4.0, num_labels=1, seed=10)
+        g0, batches = derive_stream(g, update_fraction=0.3, batch_size=10, seed=10)
+        engine = GCSMEngine(g0, TRIANGLE, adaptive_walks=True, num_walks=64, seed=11)
+        r = engine.process_batch(batches[0])
+        assert r.estimation is not None
+        assert r.estimation.num_walks >= 64
+
+
+class TestInitialMatch:
+    def test_matches_oracle_snapshot(self):
+        g = erdos_renyi(40, 5.0, num_labels=2, seed=20)
+        engine = GCSMEngine(g, TRIANGLE, seed=21)
+        count, sim_ns = engine.initial_match()
+        assert count == count_embeddings(g, TRIANGLE)
+        assert sim_ns > 0
+
+    def test_rejects_open_batch(self):
+        g = erdos_renyi(20, 3.0, seed=22)
+        engine = GCSMEngine(g, TRIANGLE, seed=23)
+        engine.graph.apply_batch(UpdateBatch([(0, 1)], [-1])
+                                 if g.has_edge(0, 1) else UpdateBatch([(0, 1)], [1]))
+        with pytest.raises(ValueError):
+            engine.initial_match()
+        engine.graph.reorganize()
+        engine.initial_match()  # works again once settled
+
+    def test_initial_plus_stream_equals_final(self):
+        g = erdos_renyi(40, 5.0, num_labels=1, seed=24)
+        g0, batches = derive_stream(g, update_fraction=0.3, batch_size=10, seed=24)
+        engine = GCSMEngine(g0, TRIANGLE, seed=25)
+        initial, _ = engine.initial_match()
+        delta = sum(engine.process_batch(b).delta_count for b in batches)
+        final, _ = engine.initial_match()
+        assert initial + delta == final

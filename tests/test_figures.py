@@ -1,0 +1,98 @@
+"""Integration tests for the figure runners (tiny configurations).
+
+The benchmarks run the paper-scale configurations; these tests exercise the
+same code paths fast, verifying structure and basic sanity of every runner.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_caches()
+    figures._RUN_CACHE.clear()
+    yield
+    clear_caches()
+    figures._RUN_CACHE.clear()
+
+
+class TestCheapRunners:
+    def test_table1(self):
+        rows = figures.table1_datasets()
+        assert len(rows) == 7
+
+    def test_fig7(self):
+        rows = figures.fig7_queries()
+        assert [r["query"] for r in rows] == ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+        assert all(5 <= r["vertices"] <= 7 for r in rows)
+
+    def test_table3_small(self):
+        out = figures.table3_reorg_time(graphs=("AZ", "PA"), batch_sizes=(32, 64))
+        assert set(out) == {("AZ", 32), ("AZ", 64), ("PA", 32), ("PA", 64)}
+        assert all(v > 0 for v in out.values())
+
+
+class TestExecTimeRunner:
+    def test_small_config(self):
+        out = figures.fig8_to_10_exec_time(
+            "AZ", batch_size=32, queries=("Q1",), systems=("GCSM", "ZC"),
+        )
+        assert set(out) == {"Q1"}
+        assert set(out["Q1"]) == {"GCSM", "ZC"}
+        assert out["Q1"]["GCSM"].delta_total == out["Q1"]["ZC"].delta_total
+
+    def test_run_cache_reused(self):
+        figures.fig8_to_10_exec_time("AZ", batch_size=32, queries=("Q1",),
+                                     systems=("ZC",))
+        size_before = len(figures._RUN_CACHE)
+        figures.fig8_to_10_exec_time("AZ", batch_size=32, queries=("Q1",),
+                                     systems=("ZC",))
+        assert len(figures._RUN_CACHE) == size_before
+
+
+class TestOtherRunners:
+    def test_fig11_tiny(self):
+        out = figures.fig11_roadnet_motifs(
+            graphs=("PA",), sizes=(3,), systems=("GCSM", "ZC"), batch_size=32,
+        )
+        assert set(out) == {("PA", 3)}
+        assert out[("PA", 3)]["GCSM"] > 0
+
+    def test_fig12_tiny(self):
+        out = figures.fig12_batch_size_sweep(
+            cases=(("AZ", "Q1"),), batch_sizes=(16, 32), total_updates=64,
+        )
+        assert set(out) == {("AZ", "Q1", 16), ("AZ", "Q1", 32)}
+        # same update set: total ΔM over the stream is identical
+        d16 = out[("AZ", "Q1", 16)]["GCSM"].delta_total
+        d32 = out[("AZ", "Q1", 32)]["GCSM"].delta_total
+        assert d16 == d32
+
+    def test_fig13_tiny(self):
+        out = figures.fig13_vsgm_breakdown(cases=(("AZ", "Q1", 4),))
+        assert "AZ" in out
+        assert out["AZ"]["VSGM"]["dc_ms"] >= 0
+
+    def test_fig14_tiny(self):
+        out = figures.fig14_rapidflow(graphs=("AZ",), queries=("Q1",), batch_size=32)
+        assert set(out["AZ"]) == {"Q1"}
+        assert out["FR_oom"] is True
+
+    def test_fig15_tiny(self):
+        out = figures.fig15_locality(graphs=("AZ",), queries=("Q1",),
+                                     batch_size=32, fractions=(0.05, 0.2))
+        stats = out["AZ"]
+        assert len(stats["access_share"]) == 2
+        assert 0 <= stats["access_share"][0] <= stats["access_share"][1] <= 1
+
+    def test_table2_tiny(self):
+        out = figures.table2_overhead(graphs=("AZ",), queries=("Q1",))
+        fe, dc = out[("AZ", "Q1")]
+        assert 0 <= fe <= 100 and 0 <= dc <= 100
+
+    def test_um_tiny(self):
+        out = figures.um_slowdown(cases=(("AZ", "Q1"),), batch_size=32)
+        assert out["AZ"] > 1.0

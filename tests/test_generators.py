@@ -1,0 +1,138 @@
+"""Tests for synthetic graph generators and the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import datasets
+from repro.graphs.generators import (
+    assign_labels,
+    erdos_renyi,
+    powerlaw_graph,
+    road_network,
+)
+
+
+class TestPowerlaw:
+    def test_shape_and_determinism(self):
+        g1 = powerlaw_graph(500, 8.0, seed=1)
+        g2 = powerlaw_graph(500, 8.0, seed=1)
+        assert g1 == g2
+        assert g1.num_vertices == 500
+        # within 25% of the requested edge budget
+        assert abs(g1.num_edges - 2000) < 500
+
+    def test_different_seeds_differ(self):
+        assert powerlaw_graph(300, 6.0, seed=1) != powerlaw_graph(300, 6.0, seed=2)
+
+    def test_max_degree_cap_respected(self):
+        g = powerlaw_graph(2000, 10.0, max_degree=60, seed=3)
+        # Chung-Lu realizes weights with binomial noise; allow slack
+        assert g.max_degree() <= 90
+
+    def test_skewed_degrees(self):
+        g = powerlaw_graph(5000, 20.0, exponent=2.1, max_degree=500, seed=4)
+        d = np.sort(g.degrees())[::-1]
+        top5 = d[: len(d) // 20].sum() / d.sum()
+        assert top5 > 0.3  # heavy hub concentration
+
+    def test_labels_in_range(self):
+        g = powerlaw_graph(400, 5.0, num_labels=3, seed=5)
+        assert set(np.unique(g.labels)) <= {0, 1, 2}
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(1, 2.0)
+        with pytest.raises(ValueError):
+            powerlaw_graph(10, 2.0, exponent=1.5)
+
+
+class TestRoadNetwork:
+    def test_bounded_degree(self):
+        g = road_network(40, 50, seed=1)
+        assert g.max_degree() <= 14
+        assert g.num_vertices == 2000
+
+    def test_connected_lattice_core(self):
+        g = road_network(10, 10, diagonal_fraction=0.0, extra_edge_fraction=0.0, seed=2)
+        # pure grid: interior degree 4, corners 2
+        assert g.max_degree() == 4
+        assert g.num_edges == 9 * 10 * 2
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            road_network(1, 5)
+
+
+class TestErdosRenyi:
+    def test_edge_budget(self):
+        g = erdos_renyi(300, 6.0, seed=1)
+        assert abs(g.num_edges - 900) < 120
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 100.0)
+
+
+class TestAssignLabels:
+    def test_single_label(self):
+        labels = assign_labels(10, 1)
+        assert labels.tolist() == [0] * 10
+
+    def test_uniform_when_no_skew(self):
+        labels = assign_labels(20_000, 4, skew=0.0, rng=1)
+        counts = np.bincount(labels, minlength=4)
+        assert counts.min() > 4000
+
+    def test_skew_orders_frequencies(self):
+        labels = assign_labels(20_000, 4, skew=1.5, rng=2)
+        counts = np.bincount(labels, minlength=4)
+        assert counts[0] > counts[1] > counts[2] > counts[3]
+
+
+class TestDatasets:
+    def test_registry_complete(self):
+        assert set(datasets.TABLE1_ORDER) == set(datasets.DATASETS)
+        assert len(datasets.TABLE1_ORDER) == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            datasets.build("nope")
+
+    def test_road_analogs_small_degree(self):
+        for name in ("PA", "CA"):
+            g = datasets.build(name)
+            assert g.max_degree() <= 14, name
+
+    def test_social_analogs_skewed(self):
+        g = datasets.build("LJ")
+        assert g.max_degree() > 8 * g.degrees().mean()
+
+    def test_memory_fit_pattern_matches_paper(self):
+        # AZ/PA/CA/LJ fit the scaled cache buffer; FR/SF3K/SF10K overflow it
+        for name in ("AZ", "PA", "CA", "LJ"):
+            spec = datasets.DATASETS[name]
+            assert spec.fits_on_device(spec.build(0)), name
+        for name in ("FR", "SF3K", "SF10K"):
+            spec = datasets.DATASETS[name]
+            assert not spec.fits_on_device(spec.build(0)), name
+
+    def test_overflow_ratios_ordered_like_paper(self):
+        sizes = {n: datasets.DATASETS[n].build(0).size_bytes() for n in ("FR", "SF3K", "SF10K")}
+        assert sizes["FR"] < sizes["SF3K"] < sizes["SF10K"]
+        assert sizes["SF10K"] > 4 * datasets.DEVICE_BUFFER_BYTES
+
+    def test_num_updates_rules(self):
+        spec = datasets.DATASETS["AZ"]
+        g = spec.build(0)
+        assert spec.num_updates(g) == max(512, int(0.1 * g.num_edges))
+        spec_fr = datasets.DATASETS["FR"]
+        g_fr = spec_fr.build(0)
+        assert spec_fr.num_updates(g_fr) == 512 * 6
+        assert spec_fr.num_updates(g_fr, batch_size=128) == 128 * 6
+
+    def test_table1_rows_structure(self):
+        rows = datasets.table1_rows()
+        assert [r["graph"] for r in rows] == datasets.TABLE1_ORDER
+        for r in rows:
+            assert r["vertices"] > 0 and r["edges"] > 0
+            assert r["paper_size_gb"] > 0

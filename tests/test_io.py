@@ -1,0 +1,43 @@
+"""Tests for edge-list / npz graph I/O."""
+
+import numpy as np
+
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+def test_edge_list_roundtrip(tmp_path):
+    g = erdos_renyi(50, 4.0, seed=1)
+    path = tmp_path / "graph.txt"
+    save_edge_list(g, path)
+    g2 = load_edge_list(path)
+    # labels are not stored in edge lists; compare structure only
+    assert g2.num_vertices == g.num_vertices
+    assert g2.num_edges == g.num_edges
+    assert np.array_equal(g2.indptr, g.indptr)
+    assert np.array_equal(g2.indices, g.indices)
+
+
+def test_edge_list_with_comments_and_remap(tmp_path):
+    path = tmp_path / "snap.txt"
+    path.write_text("# a SNAP-style comment\n10 20\n20 30\n10 30\n")
+    g = load_edge_list(path)
+    assert g.num_vertices == 3  # ids compacted
+    assert g.num_edges == 3
+
+
+def test_edge_list_with_labels(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n")
+    lab = tmp_path / "labels.txt"
+    lab.write_text("5\n6\n7\n")
+    g = load_edge_list(path, labels_path=lab)
+    assert g.labels.tolist() == [5, 6, 7]
+
+
+def test_npz_roundtrip(tmp_path):
+    g = erdos_renyi(80, 5.0, seed=2)
+    path = tmp_path / "graph.npz"
+    save_npz(g, path)
+    g2 = load_npz(path)
+    assert g2 == g

@@ -1,0 +1,84 @@
+"""Tests for the thread-pool helpers."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel import chunked, default_workers, parallel_map, parallel_root_partition
+
+
+class TestDefaultWorkers:
+    def test_bounds(self):
+        assert 1 <= default_workers() <= 8
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        out = parallel_map(lambda x: x * x, list(range(20)), workers=4)
+        assert out == [x * x for x in range(20)]
+
+    def test_single_worker_plain_loop(self):
+        seen_threads = set()
+
+        def fn(x):
+            seen_threads.add(threading.current_thread().name)
+            return x
+
+        parallel_map(fn, [1, 2, 3], workers=1)
+        assert seen_threads == {threading.main_thread().name}
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2], workers=2)
+
+    def test_empty(self):
+        assert parallel_map(lambda x: x, [], workers=3) == []
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda x: x, [1], workers=0)
+
+    def test_unordered_still_complete(self):
+        out = parallel_map(lambda x: x + 1, list(range(10)), workers=3, ordered=False)
+        assert sorted(out) == list(range(1, 11))
+
+
+class TestChunked:
+    def test_balanced_partition(self):
+        chunks = chunked(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [3, 4, 3] or sum(len(c) for c in chunks) == 10
+        flat = [x for c in chunks for x in c]
+        assert flat == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunked([1, 2], 5)
+        assert [list(c) for c in chunks] == [[1], [2]]
+
+    def test_empty(self):
+        assert chunked([], 4) == []
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestRootPartition:
+    def test_covers_exactly_once(self):
+        roots = np.arange(14).reshape(7, 2)
+        signs = np.array([1, -1, 1, 1, -1, 1, -1])
+        parts = parallel_root_partition(roots, signs, 3)
+        recon_roots = np.concatenate([p[0] for p in parts])
+        recon_signs = np.concatenate([p[1] for p in parts])
+        assert np.array_equal(recon_roots, roots)
+        assert np.array_equal(recon_signs, signs)
+
+    def test_empty(self):
+        assert parallel_root_partition(np.empty((0, 2)), np.empty(0), 4) == []
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_root_partition(np.zeros((2, 2)), np.zeros(3), 2)

@@ -1,0 +1,166 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These complement the per-module suites with randomized invariants that span
+module boundaries: cache formats vs the store, pagers vs a reference model,
+the executor vs the oracle on *generated* patterns, and conservation laws
+of the counters.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dcsr import DcsrCache
+from repro.core.matching import match_static
+from repro.core.reference import count_embeddings
+from repro.graphs import DynamicGraph, UpdateBatch
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.stream import derive_stream
+from repro.gpu import AccessCounters, Channel, DeviceConfig, HostCPUView, default_device
+from repro.gpu.memory import UnifiedMemoryPager
+from repro.query import compile_static_plan
+from repro.query.generator import random_query
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dcsr_equals_store_for_random_batches(seed):
+    """Packing any subset of vertices must reproduce the store's OLD/NEW
+    views exactly, deletion marks and all."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 40))
+    g = erdos_renyi(n, 4.0, seed=int(rng.integers(0, 2**31)))
+    g0, batches = derive_stream(
+        g, update_fraction=0.5, batch_size=max(1, int(rng.integers(1, 12))),
+        seed=int(rng.integers(0, 2**31)),
+    )
+    dg = DynamicGraph(g0)
+    dg.apply_batch(batches[0])
+    k = int(rng.integers(0, n + 1))
+    subset = rng.choice(n, size=k, replace=False) if k else np.empty(0, dtype=np.int64)
+    cache = DcsrCache.build(dg, subset)
+    for v in np.unique(subset).tolist():
+        row = cache.lookup(int(v))
+        assert row >= 0
+        assert cache.neighbors_old(row).tolist() == dg.neighbors_old(v).tolist()
+        cb, cd = cache.neighbors_new_parts(row)
+        sb, sd = dg.neighbors_new_parts(v)
+        assert cb.tolist() == sb.tolist() and cd.tolist() == sd.tolist()
+    # vertices outside the subset always miss
+    outside = np.setdiff1d(np.arange(n), subset)
+    for v in outside[: min(5, outside.size)].tolist():
+        assert cache.lookup(int(v)) == -1
+
+
+class _ReferenceLru:
+    """Independent, obviously-correct LRU model to check the pager against."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.pages: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, page: int) -> bool:
+        hit = page in self.pages
+        if hit:
+            self.pages.move_to_end(page)
+        else:
+            self.pages[page] = None
+            if len(self.pages) > self.capacity:
+                self.pages.popitem(last=False)
+        return hit
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=16),
+    accesses=st.lists(st.integers(min_value=0, max_value=30), max_size=200),
+)
+def test_um_pager_matches_reference_lru(capacity, accesses):
+    device = DeviceConfig(global_memory_bytes=4096 * capacity, um_cache_fraction=1.0)
+    pager = UnifiedMemoryPager(device)
+    ref = _ReferenceLru(capacity)
+    for page in accesses:
+        hits, faults = pager.access(range(page, page + 1))
+        assert (hits == 1) == ref.access(page)
+        assert hits + faults == 1
+    assert pager.resident_pages == len(ref.pages)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_executor_matches_oracle_on_generated_patterns(seed):
+    """Static matching with compiled plans equals brute force for *random*
+    connected labeled patterns — not just the hand-picked test queries."""
+    rng = np.random.default_rng(seed)
+    query = random_query(
+        int(rng.integers(2, 6)),
+        num_labels=2 if rng.random() < 0.7 else None,
+        density=float(rng.uniform(0, 0.8)),
+        seed=int(rng.integers(0, 2**31)),
+    )
+    g = erdos_renyi(int(rng.integers(5, 30)), 3.5, num_labels=2,
+                    seed=int(rng.integers(0, 2**31)))
+    dg = DynamicGraph(g)
+    view = HostCPUView(dg, default_device(), AccessCounters())
+    stats = match_static(compile_static_plan(query), view)
+    assert stats.signed_count == count_embeddings(g, query)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_counter_conservation(seed):
+    """Bytes recorded per vertex must sum to the channel totals, and every
+    access increments the histogram exactly once."""
+    rng = np.random.default_rng(seed)
+    g = erdos_renyi(int(rng.integers(10, 40)), 4.0, seed=int(rng.integers(0, 2**31)))
+    g0, batches = derive_stream(g, update_fraction=0.4, batch_size=8,
+                                seed=int(rng.integers(0, 2**31)))
+    dg = DynamicGraph(g0)
+    dg.apply_batch(batches[0])
+    counters = AccessCounters()
+    view = HostCPUView(dg, default_device(), counters)
+    from repro.core.matching import match_batch
+    from repro.query import compile_delta_plans
+    from repro.query.pattern import QueryGraph
+
+    match_batch(compile_delta_plans(QueryGraph(3, [(0, 1), (1, 2), (0, 2)])),
+                batches[0], view)
+    hist_bytes = int(counters._vertex_bytes.sum())
+    assert hist_bytes == counters.bytes_by_channel[Channel.CPU_DRAM]
+    assert counters.total_access_count == int(counters._vertex_counts.sum())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_views_agree_on_results_differ_only_in_channels(seed):
+    """Any two views produce identical ΔM; only the traffic channel moves."""
+    from repro.core.matching import match_batch
+    from repro.gpu import UnifiedMemoryView, ZeroCopyView
+    from repro.query import compile_delta_plans
+    from repro.query.pattern import QueryGraph
+
+    rng = np.random.default_rng(seed)
+    g = erdos_renyi(int(rng.integers(10, 35)), 4.0, seed=int(rng.integers(0, 2**31)))
+    g0, batches = derive_stream(g, update_fraction=0.4, batch_size=8,
+                                seed=int(rng.integers(0, 2**31)))
+    query = QueryGraph(3, [(0, 1), (1, 2), (0, 2)])
+    plans = compile_delta_plans(query)
+    results = {}
+    channel_bytes = {}
+    for name, cls, channel in (
+        ("cpu", HostCPUView, Channel.CPU_DRAM),
+        ("zc", ZeroCopyView, Channel.ZERO_COPY),
+    ):
+        dg = DynamicGraph(g0)
+        dg.apply_batch(batches[0])
+        counters = AccessCounters()
+        stats = match_batch(plans, batches[0], cls(dg, default_device(), counters))
+        results[name] = stats.signed_count
+        channel_bytes[name] = counters.bytes_by_channel[channel]
+        # nothing leaked onto the other channel
+        other = Channel.ZERO_COPY if channel is Channel.CPU_DRAM else Channel.CPU_DRAM
+        assert counters.bytes_by_channel[other] == 0
+    assert results["cpu"] == results["zc"]
+    assert channel_bytes["cpu"] == channel_bytes["zc"]  # same lists read

@@ -1,0 +1,73 @@
+"""Tests for random query generation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.generator import random_query, random_query_suite
+from repro.query.pattern import WILDCARD_LABEL
+
+
+class TestRandomQuery:
+    def test_deterministic(self):
+        assert random_query(5, seed=3) == random_query(5, seed=3)
+        assert random_query(5, seed=3) != random_query(5, seed=4)
+
+    def test_exact_edge_count(self):
+        q = random_query(6, 9, seed=1)
+        assert q.num_edges == 9
+
+    def test_wildcard_by_default(self):
+        q = random_query(4, seed=2)
+        assert all(l == WILDCARD_LABEL for l in q.labels)
+
+    def test_labels_in_range(self):
+        q = random_query(5, num_labels=3, seed=5)
+        assert all(0 <= l < 3 for l in q.labels)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            random_query(1)
+        with pytest.raises(ValueError):
+            random_query(4, 2)  # below spanning tree
+        with pytest.raises(ValueError):
+            random_query(4, 7)  # above complete graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_always_connected_simple(n, density, seed):
+    q = random_query(n, density=density, seed=seed)
+    g = q.to_networkx()
+    assert nx.is_connected(g)
+    assert g.number_of_nodes() == n
+    assert q.num_edges >= n - 1
+    # QueryGraph constructor already rejects loops/duplicates; spot-check
+    assert all(u != v for u, v in q.edges)
+
+
+class TestSuite:
+    def test_size_range_and_count(self):
+        suite = random_query_suite(10, min_vertices=3, max_vertices=5, seed=7)
+        assert len(suite) == 10
+        assert all(3 <= q.num_vertices <= 5 for q in suite)
+        assert len({q.name for q in suite}) == 10
+
+    def test_suite_usable_by_matcher(self):
+        from repro.core.reference import count_embeddings
+        from repro.graphs.generators import erdos_renyi
+
+        g = erdos_renyi(25, 4.0, num_labels=3, seed=8)
+        for q in random_query_suite(4, num_labels=3, seed=8):
+            count_embeddings(g, q)  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_query_suite(0)
+        with pytest.raises(ValueError):
+            random_query_suite(2, min_vertices=5, max_vertices=3)

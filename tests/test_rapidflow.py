@@ -1,0 +1,117 @@
+"""Tests for the RapidFlow-style CPU baseline (paper Fig. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rapidflow import (
+    IndexMemoryError,
+    RapidFlowSystem,
+    candidate_index_bytes,
+)
+from repro.core.reference import count_embeddings
+from repro.graphs.generators import erdos_renyi, powerlaw_graph
+from repro.graphs.stream import derive_stream
+from repro.query import QueryGraph
+
+TRIANGLE = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+TAILED = QueryGraph(4, [(0, 1), (1, 2), (0, 2), (2, 3)], [0, 0, 1, 1], name="tailed")
+
+
+class TestCandidateIndex:
+    def test_candidates_filtered_by_label_and_degree(self):
+        g = erdos_renyi(60, 5.0, num_labels=2, seed=1)
+        sys = RapidFlowSystem(g, TAILED)
+        degrees = sys.graph.degrees_new()
+        labels = sys.graph.labels
+        for u in range(TAILED.num_vertices):
+            cand = sys.candidates[u]
+            assert bool(np.all(degrees[cand] >= TAILED.degree(u)))
+            assert bool(np.all(labels[cand] == TAILED.label(u)))
+
+    def test_index_bytes_positive_and_grows_with_graph(self):
+        small = RapidFlowSystem(erdos_renyi(40, 4.0, seed=2), TRIANGLE)
+        big = RapidFlowSystem(erdos_renyi(400, 4.0, seed=2), TRIANGLE)
+        assert 0 < small.index_bytes < big.index_bytes
+
+    def test_oom_on_large_graph(self):
+        """The paper's Sec. VI-C observation: index exhausts memory on the
+        large graphs, so Fig. 14 only covers AZ and LJ."""
+        g = powerlaw_graph(5000, 20.0, max_degree=300, num_labels=1, seed=3)
+        with pytest.raises(IndexMemoryError):
+            RapidFlowSystem(g, TRIANGLE, memory_budget_bytes=100_000)
+
+    def test_oom_during_maintenance(self):
+        g = erdos_renyi(100, 4.0, num_labels=1, seed=4)
+        g0, batches = derive_stream(g, update_fraction=0.5, batch_size=50, seed=4)
+        sys = RapidFlowSystem(g0, TRIANGLE)
+        # shrink the budget well below the index size after construction
+        sys.memory_budget_bytes = sys.index_bytes // 2
+        with pytest.raises(IndexMemoryError):
+            sys.process_batch(batches[0])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query", [TRIANGLE, TAILED], ids=lambda q: q.name)
+    def test_stream_matches_oracle(self, query):
+        g = erdos_renyi(50, 5.0, num_labels=2, seed=5)
+        g0, batches = derive_stream(g, update_fraction=0.4, batch_size=12, seed=5)
+        sys = RapidFlowSystem(g0, query)
+        prev = count_embeddings(g0, query)
+        for batch in batches[:4]:
+            r = sys.process_batch(batch)
+            now = count_embeddings(sys.snapshot(), query)
+            assert r.delta_count == now - prev
+            prev = now
+
+    def test_index_maintained_across_batches(self):
+        g = erdos_renyi(60, 5.0, num_labels=2, seed=6)
+        g0, batches = derive_stream(g, update_fraction=0.5, batch_size=20, seed=6)
+        sys = RapidFlowSystem(g0, TAILED)
+        for batch in batches[:3]:
+            sys.process_batch(batch)
+        # post-hoc: candidates still consistent with the settled graph
+        degrees = sys.graph.degrees_new()
+        labels = sys.graph.labels
+        for u in range(TAILED.num_vertices):
+            cand = sys.candidates[u]
+            assert bool(np.all(labels[cand] == TAILED.label(u)))
+            # union-degree maintenance may retain slightly stale entries but
+            # must never *miss* a valid candidate (soundness)
+            valid = np.nonzero(
+                (degrees >= TAILED.degree(u)) & (labels == TAILED.label(u))
+            )[0]
+            assert set(valid.tolist()) <= set(cand.tolist())
+
+
+class TestOrderOptimization:
+    def test_orders_bind_scarce_vertices_early(self):
+        # make label 1 very rare -> query vertices labeled 1 have small C(u)
+        labels = np.zeros(60, dtype=np.int64)
+        labels[:3] = 1
+        g = erdos_renyi(60, 6.0, num_labels=1, seed=7)
+        from repro.graphs import StaticGraph
+
+        g = StaticGraph(g.indptr, g.indices, labels)
+        query = QueryGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)], [0, 0, 0, 1])
+        sys = RapidFlowSystem(g, query)
+        assert sys.candidates[3].size < sys.candidates[0].size
+        for plan in sys.plans:
+            order = plan.order
+            # vertex 3 (scarce) appears as early as connectivity permits:
+            # never later than any equally-connectable abundant vertex chosen
+            # at its selection point; weak but meaningful check: it is not
+            # always last unless it is a root-edge constraint issue
+            if 3 not in plan.root_edge:
+                assert order.index(3) <= len(order) - 1
+        # at least one plan binds the scarce vertex before position 3
+        assert any(p.order.index(3) < 3 for p in sys.plans if 3 not in p.root_edge)
+
+    def test_plans_cover_all_edges(self):
+        g = erdos_renyi(50, 5.0, num_labels=2, seed=8)
+        sys = RapidFlowSystem(g, TAILED)
+        assert len(sys.plans) == TAILED.num_edges
+        for i, plan in enumerate(sys.plans):
+            covered = [c.edge_index for lvl in plan.levels for c in lvl.constraints]
+            covered.append(plan.root_edge_index)
+            assert sorted(covered) == list(range(TAILED.num_edges))
+            assert plan.delta_index == i

@@ -1,0 +1,140 @@
+"""Unit tests for repro.graphs.static_graph."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import StaticGraph
+from repro.graphs.generators import erdos_renyi
+
+
+def small_graph():
+    #   0 - 1
+    #   | \ |
+    #   3   2
+    return StaticGraph.from_edges(4, [(0, 1), (0, 2), (1, 2), (0, 3)], np.array([0, 1, 1, 2]))
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = small_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_neighbors_sorted(self):
+        g = small_graph()
+        assert g.neighbors(0).tolist() == [1, 2, 3]
+        assert g.neighbors(1).tolist() == [0, 2]
+        assert g.neighbors(3).tolist() == [0]
+
+    def test_degrees(self):
+        g = small_graph()
+        assert g.degrees().tolist() == [3, 2, 2, 1]
+        assert g.max_degree() == 3
+        assert g.degree(0) == 3
+
+    def test_labels(self):
+        g = small_graph()
+        assert g.label(2) == 1
+        assert g.labels.tolist() == [0, 1, 1, 2]
+
+    def test_default_labels_zero(self):
+        g = StaticGraph.from_edges(3, [(0, 1)])
+        assert g.labels.tolist() == [0, 0, 0]
+
+    def test_duplicate_edges_dropped(self):
+        g = StaticGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = StaticGraph.from_edges(3, [(0, 0), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            StaticGraph.from_edges(2, [(0, 5)])
+
+    def test_empty_graph(self):
+        g = StaticGraph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_zero_vertex_graph(self):
+        g = StaticGraph.empty(0)
+        assert g.num_vertices == 0
+        assert g.max_degree() == 0
+
+
+class TestQueries:
+    def test_has_edge(self):
+        g = small_graph()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(1, 3)
+        assert not g.has_edge(3, 3)
+
+    def test_edge_array_canonical(self):
+        g = small_graph()
+        edges = g.edge_array()
+        assert edges.shape == (4, 2)
+        assert bool(np.all(edges[:, 0] < edges[:, 1]))
+        assert set(map(tuple, edges.tolist())) == {(0, 1), (0, 2), (0, 3), (1, 2)}
+
+    def test_iter_edges_matches_edge_array(self):
+        g = small_graph()
+        assert sorted(g.iter_edges()) == sorted(map(tuple, g.edge_array().tolist()))
+
+    def test_size_bytes_positive_and_monotone(self):
+        small = StaticGraph.from_edges(4, [(0, 1)])
+        big = small_graph()
+        assert 0 < small.size_bytes() < big.size_bytes()
+
+
+class TestDerivedGraphs:
+    def test_without_edges(self):
+        g = small_graph()
+        g2 = g.without_edges(np.array([[1, 0], [0, 3]]))
+        assert g2.num_edges == 2
+        assert not g2.has_edge(0, 1)
+        assert not g2.has_edge(0, 3)
+        assert g2.has_edge(0, 2)
+        # labels preserved
+        assert g2.labels.tolist() == g.labels.tolist()
+
+    def test_with_edges(self):
+        g = small_graph()
+        g2 = g.with_edges(np.array([[1, 3], [2, 3]]))
+        assert g2.num_edges == 6
+        assert g2.has_edge(1, 3)
+        assert g2.has_edge(2, 3)
+
+    def test_with_then_without_roundtrip(self):
+        g = small_graph()
+        extra = np.array([[1, 3]])
+        assert g.with_edges(extra).without_edges(extra) == g
+
+    def test_without_noop_on_empty(self):
+        g = small_graph()
+        assert g.without_edges(np.empty((0, 2), dtype=np.int64)) == g
+
+    def test_equality(self):
+        assert small_graph() == small_graph()
+        g2 = StaticGraph.from_edges(4, [(0, 1)], np.array([0, 1, 1, 2]))
+        assert small_graph() != g2
+
+
+class TestValidation:
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            StaticGraph(np.array([1, 2]), np.array([0]))
+
+    def test_unsorted_neighbors_rejected(self):
+        with pytest.raises(ValueError):
+            StaticGraph(np.array([0, 2, 3, 4]), np.array([2, 1, 0, 0]), None)
+
+    def test_random_graph_validates(self):
+        g = erdos_renyi(200, 5.0, seed=3)
+        # constructor validation already ran; spot-check symmetry
+        for u in range(0, 200, 17):
+            for v in g.neighbors(u).tolist():
+                assert g.has_edge(v, u)

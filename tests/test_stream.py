@@ -1,0 +1,188 @@
+"""Tests for dynamic-stream derivation (paper Sec. VI-A methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import StaticGraph, UpdateBatch, derive_stream
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.stream import insert_only_stream
+
+
+class TestUpdateBatch:
+    def test_basic_partition(self):
+        b = UpdateBatch([(0, 1), (2, 3), (4, 5)], [1, -1, 1])
+        assert len(b) == 3
+        assert b.insert_edges().tolist() == [[0, 1], [4, 5]]
+        assert b.delete_edges().tolist() == [[2, 3]]
+        assert b.max_vertex() == 5
+
+    def test_empty_batch(self):
+        b = UpdateBatch(np.empty((0, 2)), np.empty(0))
+        assert len(b) == 0
+        assert b.max_vertex(default=-1) == -1
+        edges, signs = b.directed_updates()
+        assert edges.shape == (0, 2) and signs.shape == (0,)
+
+    def test_directed_updates_both_orientations(self):
+        b = UpdateBatch([(0, 1)], [-1])
+        edges, signs = b.directed_updates()
+        assert edges.tolist() == [[0, 1], [1, 0]]
+        assert signs.tolist() == [-1, -1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpdateBatch([(0, 1)], [2])
+        with pytest.raises(ValueError):
+            UpdateBatch([(1, 1)], [1])
+        with pytest.raises(ValueError):
+            UpdateBatch([(0, 1), (1, 2)], [1])
+
+
+class TestDeriveStream:
+    def test_requires_exactly_one_size_spec(self):
+        g = erdos_renyi(30, 4.0, seed=0)
+        with pytest.raises(ValueError):
+            derive_stream(g, seed=0)
+        with pytest.raises(ValueError):
+            derive_stream(g, num_updates=5, update_fraction=0.1, seed=0)
+
+    def test_update_count_and_batching(self):
+        g = erdos_renyi(100, 6.0, seed=1)
+        g0, batches = derive_stream(g, num_updates=50, batch_size=16, seed=1)
+        assert sum(len(b) for b in batches) == 50
+        assert [len(b) for b in batches] == [16, 16, 16, 2]
+
+    def test_insertions_removed_from_initial(self):
+        g = erdos_renyi(100, 6.0, seed=2)
+        g0, batches = derive_stream(g, update_fraction=0.2, batch_size=1000, seed=2)
+        all_ins = np.concatenate([b.insert_edges() for b in batches])
+        all_del = np.concatenate([b.delete_edges() for b in batches])
+        for u, v in all_ins.tolist():
+            assert not g0.has_edge(u, v)
+        for u, v in all_del.tolist():
+            assert g0.has_edge(u, v)
+        assert g0.num_edges == g.num_edges - all_ins.shape[0]
+
+    def test_replay_reaches_expected_final_graph(self):
+        g = erdos_renyi(80, 5.0, seed=3)
+        g0, batches = derive_stream(g, update_fraction=0.3, batch_size=7, seed=3)
+        final = g0
+        for b in batches:
+            final = final.with_edges(b.insert_edges()).without_edges(b.delete_edges())
+        # final graph = original minus the edges selected for deletion
+        all_del = np.concatenate([b.delete_edges() for b in batches])
+        assert final == g.without_edges(all_del)
+
+    def test_insert_probability_extremes(self):
+        g = erdos_renyi(100, 6.0, seed=4)
+        _, batches = derive_stream(g, num_updates=40, batch_size=40,
+                                   insert_probability=1.0, seed=4)
+        assert all(b.delete_edges().shape[0] == 0 for b in batches)
+        _, batches = derive_stream(g, num_updates=40, batch_size=40,
+                                   insert_probability=0.0, seed=4)
+        assert all(b.insert_edges().shape[0] == 0 for b in batches)
+
+    def test_deterministic_given_seed(self):
+        g = erdos_renyi(100, 6.0, seed=5)
+        a0, ab = derive_stream(g, num_updates=30, batch_size=10, seed=42)
+        b0, bb = derive_stream(g, num_updates=30, batch_size=10, seed=42)
+        assert a0 == b0
+        for x, y in zip(ab, bb):
+            assert x.edges.tolist() == y.edges.tolist()
+            assert x.signs.tolist() == y.signs.tolist()
+
+    def test_too_many_updates_rejected(self):
+        g = erdos_renyi(20, 2.0, seed=6)
+        with pytest.raises(ValueError):
+            derive_stream(g, num_updates=10 * g.num_edges, batch_size=8, seed=6)
+
+
+class TestInsertOnlyStream:
+    def test_all_inserts(self):
+        g = erdos_renyi(60, 4.0, seed=8)
+        g0, batches = insert_only_stream(g, num_updates=20, batch_size=6, seed=8)
+        assert sum(len(b) for b in batches) == 20
+        assert all(b.delete_edges().shape[0] == 0 for b in batches)
+        final = g0
+        for b in batches:
+            final = final.with_edges(b.insert_edges())
+        assert final == g
+
+
+class TestLocalizedStream:
+    def _hot_touch_fraction(self, weight, seed=9):
+        from repro.graphs.stream import derive_localized_stream
+        import numpy as np
+
+        g = erdos_renyi(400, 6.0, seed=seed)
+        rng = np.random.default_rng(seed)
+        g0, batches = derive_localized_stream(
+            g, num_updates=200, batch_size=50, hotspot_fraction=0.05,
+            hotspot_weight=weight, seed=seed,
+        )
+        # recompute the hot set exactly as the deriver does
+        hot = rng.choice(g.num_vertices, size=int(g.num_vertices * 0.05),
+                         replace=False)
+        is_hot = np.zeros(g.num_vertices, dtype=bool)
+        is_hot[hot] = True
+        edges = np.concatenate([b.edges for b in batches])
+        return float((is_hot[edges[:, 0]] | is_hot[edges[:, 1]]).mean())
+
+    def test_hotspots_concentrate_updates(self):
+        uniform = self._hot_touch_fraction(weight=1.0)
+        skewed = self._hot_touch_fraction(weight=25.0)
+        assert skewed > 1.5 * uniform
+
+    def test_structure_matches_uniform_deriver(self):
+        from repro.graphs.stream import derive_localized_stream
+
+        g = erdos_renyi(100, 6.0, seed=10)
+        g0, batches = derive_localized_stream(
+            g, num_updates=60, batch_size=16, seed=10,
+        )
+        assert sum(len(b) for b in batches) == 60
+        for b in batches:
+            for u, v in b.delete_edges().tolist():
+                assert g0.has_edge(u, v)
+            for u, v in b.insert_edges().tolist():
+                assert not g0.has_edge(u, v)
+
+    def test_validation(self):
+        from repro.graphs.stream import derive_localized_stream
+
+        g = erdos_renyi(50, 4.0, seed=11)
+        with pytest.raises(ValueError):
+            derive_localized_stream(g, num_updates=10, batch_size=4,
+                                    hotspot_fraction=0.0)
+        with pytest.raises(ValueError):
+            derive_localized_stream(g, num_updates=10, batch_size=4,
+                                    hotspot_weight=0.5)
+        with pytest.raises(ValueError):
+            derive_localized_stream(g, num_updates=10**6, batch_size=4)
+
+    def test_degree_bias_hits_hubs(self):
+        from repro.graphs.generators import powerlaw_graph
+        from repro.graphs.stream import derive_localized_stream
+        import numpy as np
+
+        g = powerlaw_graph(2000, 8.0, max_degree=200, seed=12)
+        degs = g.degrees()
+        hubs = set(np.argsort(-degs)[:20].tolist())
+
+        def hub_touch(bias):
+            _, batches = derive_localized_stream(
+                g, num_updates=300, batch_size=100, hotspot_fraction=0.01,
+                hotspot_weight=100.0, hotspot_bias=bias, seed=13,
+            )
+            edges = np.concatenate([b.edges for b in batches])
+            return sum(1 for u, v in edges.tolist() if u in hubs or v in hubs)
+
+        assert hub_touch("degree") > hub_touch("uniform")
+
+    def test_bad_bias_rejected(self):
+        from repro.graphs.stream import derive_localized_stream
+
+        g = erdos_renyi(50, 4.0, seed=14)
+        with pytest.raises(ValueError):
+            derive_localized_stream(g, num_updates=10, batch_size=4,
+                                    hotspot_bias="fame")

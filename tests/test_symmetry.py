@@ -1,0 +1,68 @@
+"""Tests for automorphism enumeration and canonical-embedding filtering."""
+
+from itertools import permutations
+
+from repro.query import QUERIES, QueryGraph, automorphism_count, automorphisms
+from repro.query.symmetry import is_canonical_embedding
+
+
+def test_triangle_unlabeled_has_six_automorphisms():
+    q = QueryGraph(3, [(0, 1), (1, 2), (0, 2)])
+    assert automorphism_count(q) == 6
+
+
+def test_triangle_distinct_labels_is_rigid():
+    q = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], [0, 1, 2])
+    assert automorphism_count(q) == 1
+
+
+def test_path_symmetry():
+    q = QueryGraph(3, [(0, 1), (1, 2)])
+    assert automorphism_count(q) == 2  # flip the endpoints
+
+
+def test_labels_break_path_symmetry():
+    q = QueryGraph(3, [(0, 1), (1, 2)], [0, 1, 2])
+    assert automorphism_count(q) == 1
+
+
+def test_identity_always_present():
+    for q in QUERIES.values():
+        assert tuple(range(q.num_vertices)) in automorphisms(q)
+
+
+def test_automorphisms_form_group():
+    q = QueryGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])  # 4-cycle: dihedral, order 8
+    autos = set(automorphisms(q))
+    assert len(autos) == 8
+    for a in autos:
+        for b in autos:
+            composed = tuple(a[b[i]] for i in range(4))
+            assert composed in autos
+
+
+def test_canonical_embedding_selects_one_per_orbit():
+    q = QueryGraph(3, [(0, 1), (1, 2), (0, 2)])  # unlabeled triangle
+    data_vertices = (7, 3, 9)
+    canon = [
+        perm
+        for perm in permutations(data_vertices)
+        if is_canonical_embedding(q, perm)
+    ]
+    assert len(canon) == 1
+    assert canon[0] == (3, 7, 9)
+
+
+def test_canonical_embedding_rigid_pattern_keeps_all():
+    q = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], [0, 1, 2])
+    assert is_canonical_embedding(q, (9, 3, 7))
+    assert is_canonical_embedding(q, (3, 9, 7))
+
+
+def test_catalog_automorphism_counts():
+    # labeled catalog queries are mostly rigid; Q4's alternating labels keep
+    # a 4-element symmetry group
+    counts = {name: automorphism_count(q) for name, q in QUERIES.items()}
+    assert counts["Q1"] == 1
+    assert counts["Q4"] == 4
+    assert all(c >= 1 for c in counts.values())

@@ -1,0 +1,92 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_generator,
+    format_bytes,
+    format_time_ns,
+    geometric_mean,
+    intersect_sorted,
+    is_sorted,
+    merge_sorted_unique,
+    require,
+    spawn_generator,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        a, b = as_generator(5), as_generator(5)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_spawn_independent(self):
+        parent = as_generator(3)
+        child = spawn_generator(parent)
+        assert child is not parent
+        # spawning advanced the parent deterministically
+        parent2 = as_generator(3)
+        child2 = spawn_generator(parent2)
+        assert child.integers(0, 1 << 30) == child2.integers(0, 1 << 30)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestSortedOps:
+    def test_is_sorted(self):
+        assert is_sorted(np.array([1, 2, 2, 3]))
+        assert not is_sorted(np.array([2, 1]))
+        assert is_sorted(np.array([]))
+        assert is_sorted(np.array([7]))
+
+    def test_merge_sorted_unique(self):
+        out = merge_sorted_unique(np.array([1, 3, 5]), np.array([2, 3, 6]))
+        assert out.tolist() == [1, 2, 3, 5, 6]
+
+    def test_merge_with_empty(self):
+        a = np.array([1, 2], dtype=np.int64)
+        assert merge_sorted_unique(a, np.array([], dtype=np.int64)).tolist() == [1, 2]
+        assert merge_sorted_unique(np.array([], dtype=np.int64), a).tolist() == [1, 2]
+
+    def test_intersect_sorted(self):
+        out = intersect_sorted(np.array([1, 3, 5, 7]), np.array([3, 4, 7]))
+        assert out.tolist() == [3, 7]
+        assert intersect_sorted(np.array([1]), np.array([], dtype=np.int64)).size == 0
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(3 * 1024**2) == "3.0 MB"
+        assert format_bytes(5 * 1024**3) == "5.0 GB"
+
+    def test_format_time(self):
+        assert format_time_ns(500) == "500 ns"
+        assert format_time_ns(2_500) == "2.50 us"
+        assert format_time_ns(3_000_000) == "3.00 ms"
+        assert format_time_ns(2e9) == "2.000 s"
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([3]) == pytest.approx(3.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])

@@ -1,0 +1,70 @@
+"""Tests for the cross-system consistency checker."""
+
+import pytest
+
+from repro.core.validation import ConsistencyError, VerificationReport, verify_stream
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.stream import derive_stream
+from repro.query import QueryGraph
+
+TRIANGLE = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+def small_case(seed=1):
+    g = erdos_renyi(40, 5.0, num_labels=2, seed=seed)
+    return derive_stream(g, update_fraction=0.3, batch_size=12, seed=seed)
+
+
+def test_all_systems_agree_with_oracle():
+    g0, batches = small_case()
+    report = verify_stream(
+        ["GCSM", "ZC", "UM", "Naive", "CPU"], g0, TRIANGLE, batches[:2],
+        against_oracle=True,
+    )
+    assert report.oracle_checked
+    assert len(report.delta_per_batch) == 2
+    assert "systems agree" in report.describe()
+    assert report.total_delta == sum(report.delta_per_batch)
+
+
+def test_single_system_cross_check():
+    g0, batches = small_case(seed=2)
+    report = verify_stream(["ZC"], g0, TRIANGLE, batches[:1])
+    assert not report.oracle_checked
+    assert report.num_batches == 1
+
+
+def test_validation_of_inputs():
+    g0, batches = small_case(seed=3)
+    with pytest.raises(ValueError):
+        verify_stream([], g0, TRIANGLE, batches[:1])
+    with pytest.raises(ValueError):
+        verify_stream(["ZC"], g0, TRIANGLE, [])
+
+
+def test_detects_injected_disagreement(monkeypatch):
+    """Tamper with one system's result; the checker must catch it."""
+    from repro.core import baselines
+
+    g0, batches = small_case(seed=4)
+    real_make = baselines.make_system
+
+    class Liar:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def process_batch(self, batch):
+            result = self.inner.process_batch(batch)
+            result.delta_count += 1  # off-by-one corruption
+            return result
+
+        def snapshot(self):
+            return self.inner.snapshot()
+
+    def tampered(name, *args, **kwargs):
+        system = real_make(name, *args, **kwargs)
+        return Liar(system) if name == "ZC" else system
+
+    monkeypatch.setattr("repro.core.validation.make_system", tampered)
+    with pytest.raises(ConsistencyError):
+        verify_stream(["GCSM", "ZC"], g0, TRIANGLE, batches[:1])

@@ -1,0 +1,79 @@
+"""Focused tests on adjacency-version semantics across views and states."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachedDeviceView
+from repro.core.dcsr import DcsrCache
+from repro.graphs import DynamicGraph, StaticGraph, UpdateBatch
+from repro.graphs.generators import erdos_renyi
+from repro.gpu import (
+    AccessCounters,
+    HostCPUView,
+    UnifiedMemoryView,
+    ZeroCopyView,
+    default_device,
+)
+from repro.query.plan import EdgeVersion
+
+ALL_VIEW_CLASSES = [HostCPUView, ZeroCopyView, UnifiedMemoryView]
+
+
+def settled_store():
+    g = StaticGraph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+    return DynamicGraph(g)
+
+
+@pytest.mark.parametrize("cls", ALL_VIEW_CLASSES, ids=lambda c: c.__name__)
+class TestSettledSemantics:
+    def test_current_equals_old_when_settled(self, cls):
+        """With no open batch, OLD and NEW/CURRENT coincide."""
+        dg = settled_store()
+        view = cls(dg, default_device(), AccessCounters())
+        for v in range(dg.num_vertices):
+            (old,) = view.fetch(v, EdgeVersion.OLD)
+            new = np.concatenate(view.fetch(v, EdgeVersion.NEW))
+            cur = np.concatenate(view.fetch(v, EdgeVersion.CURRENT))
+            assert old.tolist() == sorted(new.tolist()) == sorted(cur.tolist())
+
+    def test_fetch_returns_sorted_runs(self, cls):
+        dg = settled_store()
+        dg.apply_batch(UpdateBatch([(0, 3), (1, 4)], [1, 1]))
+        view = cls(dg, default_device(), AccessCounters())
+        for v in range(dg.num_vertices):
+            for version in (EdgeVersion.OLD, EdgeVersion.NEW):
+                for run in view.fetch(v, version):
+                    assert bool(np.all(run[1:] >= run[:-1])) if run.size > 1 else True
+
+    def test_degree_bounds_match_run_lengths(self, cls):
+        dg = settled_store()
+        dg.apply_batch(UpdateBatch([(0, 2), (0, 1)], [1, -1]))
+        view = cls(dg, default_device(), AccessCounters())
+        for v in range(dg.num_vertices):
+            (old,) = view.fetch(v, EdgeVersion.OLD)
+            assert view.degree_bound(v, EdgeVersion.OLD) == old.size
+            new_total = sum(r.size for r in view.fetch(v, EdgeVersion.NEW))
+            assert view.degree_bound(v, EdgeVersion.NEW) == new_total
+
+
+class TestCachedViewSemantics:
+    def test_cached_view_matches_plain_views(self):
+        """For every vertex and version, the cached view (hit or miss) must
+        return the same logical adjacency as the uncached views."""
+        g = erdos_renyi(40, 5.0, seed=17)
+        from repro.graphs.stream import derive_stream
+
+        g0, batches = derive_stream(g, update_fraction=0.5, batch_size=15, seed=17)
+        dg = DynamicGraph(g0)
+        dg.apply_batch(batches[0])
+        half = np.arange(0, dg.num_vertices, 2)
+        cache = DcsrCache.build(dg, half)
+        device = default_device()
+        cached = CachedDeviceView(dg, device, AccessCounters(), cache)
+        plain = HostCPUView(dg, device, AccessCounters())
+        for v in range(dg.num_vertices):
+            for version in (EdgeVersion.OLD, EdgeVersion.NEW):
+                a = sorted(np.concatenate(cached.fetch(v, version)).tolist())
+                b = sorted(np.concatenate(plain.fetch(v, version)).tolist())
+                assert a == b, (v, version)
+        assert cached.hits > 0 and cached.misses > 0
