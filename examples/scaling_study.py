@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Multi-GPU scaling study: how far does sharding the GCSM pipeline go?
+
+Sweeps the simulated fleet size (1/2/4/8 devices) and the vertex
+partitioner (hash / range / frequency-aware) on one workload, and prints
+
+* the device-scaling table — end-to-end and kernel-phase speedup,
+  cross-device (PEER) traffic, all-reduce cost, and load imbalance;
+* the partitioner ablation at a fixed fleet size — how much PEER traffic
+  the frequency-aware partitioner removes, and what it costs in host-side
+  partitioning time and balance;
+* the interconnect sensitivity — the same fleet on NVLink vs PCIe-P2P.
+
+Everything is simulated and deterministic; see docs/multigpu.md.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.core.engine import GCSMEngine
+from repro.gpu.device import ClusterConfig
+from repro.graphs.generators import powerlaw_graph
+from repro.graphs.stream import derive_stream
+from repro.multigpu import MultiGpuEngine
+from repro.query import QueryGraph
+from repro.utils import format_bytes, format_time_ns
+
+
+def run_fleet(g0, batches, query, *, devices, partitioner="hash",
+              interconnect="nvlink"):
+    engine = MultiGpuEngine(
+        g0, query,
+        devices=ClusterConfig(num_devices=devices, interconnect=interconnect),
+        partitioner=partitioner, seed=7,
+    )
+    results = [engine.process_batch(b) for b in batches]
+    return {
+        "delta": sum(r.delta_count for r in results),
+        "total_ns": sum(r.breakdown.total_ns for r in results),
+        "match_ns": sum(r.breakdown.match_ns for r in results),
+        "comm_ns": sum(r.breakdown.comm_ns for r in results),
+        "peer_bytes": sum(r.comm.peer_bytes for r in results if r.comm),
+        "imbalance": max((r.load_balance.imbalance for r in results
+                          if r.load_balance), default=1.0),
+        "straggler": results[-1].load_balance.straggler
+        if results[-1].load_balance else 0,
+    }
+
+
+def main() -> None:
+    graph = powerlaw_graph(6_000, 12.0, max_degree=250, num_labels=1, seed=7)
+    query = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+    g0, batches = derive_stream(graph, num_updates=768, batch_size=256, seed=7)
+    print(f"workload: {g0}, {len(batches)} batches of 256, query {query.name}\n")
+
+    # sanity: the sharded engine must agree with the single-GPU engine
+    single = GCSMEngine(g0, query, seed=7)
+    expected = sum(single.process_batch(b).delta_count for b in batches)
+
+    print("== device scaling (NVLink fleet, hash partitioner)")
+    print(f"{'devices':>8} {'total':>10} {'speedup':>8} {'match':>10} "
+          f"{'peer':>10} {'comm':>10} {'imbalance':>9}")
+    base = None
+    for n in (1, 2, 4, 8):
+        r = run_fleet(g0, batches, query, devices=n)
+        assert r["delta"] == expected, "sharding changed the answer!"
+        base = base or r["total_ns"]
+        print(f"{n:>8} {format_time_ns(r['total_ns']):>10} "
+              f"{base / r['total_ns']:>7.2f}x {format_time_ns(r['match_ns']):>10} "
+              f"{format_bytes(r['peer_bytes']):>10} "
+              f"{format_time_ns(r['comm_ns']):>10} {r['imbalance']:>9.2f}")
+
+    print("\n== partitioner ablation (4 devices, NVLink)")
+    print(f"{'partitioner':>12} {'total':>10} {'peer':>10} "
+          f"{'imbalance':>9} {'straggler':>9}")
+    for part in ("hash", "range", "freq"):
+        r = run_fleet(g0, batches, query, devices=4, partitioner=part)
+        assert r["delta"] == expected
+        print(f"{part:>12} {format_time_ns(r['total_ns']):>10} "
+              f"{format_bytes(r['peer_bytes']):>10} {r['imbalance']:>9.2f} "
+              f"shard {r['straggler']:>3}")
+
+    print("\n== interconnect sensitivity (4 devices, hash partitioner)")
+    for link in ("nvlink", "pcie"):
+        r = run_fleet(g0, batches, query, devices=4, interconnect=link)
+        assert r["delta"] == expected
+        print(f"{link:>8}: total {format_time_ns(r['total_ns'])}, "
+              f"match {format_time_ns(r['match_ns'])} "
+              f"(peer traffic {format_bytes(r['peer_bytes'])})")
+
+    print("\nTakeaway: speedup is monotone but sub-linear — serial host "
+          "phases,\npeer-read stalls, and the ΔM all-reduce all grow their "
+          "share with N;\nthe frequency-aware partitioner trades host-side "
+          "clustering time for\nless interconnect traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -87,6 +87,13 @@ class RunResult:
     coverage_top5: float | None = None
     cache_hit_rate: float | None = None
     cache_bytes: int = 0  # mean per batch
+    # -- multi-GPU extras (left at defaults for single-device systems) -----
+    num_devices: int = 1
+    partitioner: str | None = None
+    peer_bytes: int = 0  # summed over batches
+    allreduce_ns: float = 0.0  # summed over batches
+    imbalance: float | None = None  # mean per-batch max/mean shard time
+    load_balance: list[dict] = field(default_factory=list)  # per-batch reports
 
     @property
     def total_ms(self) -> float:
@@ -137,6 +144,10 @@ def run_stream(
     cov1: list[float] = []
     cov5: list[float] = []
     hits = misses = 0
+    peer_bytes = 0
+    allreduce_ns = 0.0
+    imbalances: list[float] = []
+    lb_reports: list[dict] = []
     for batch in batches:
         result: BatchResult = system.process_batch(batch)
         agg_breakdown = agg_breakdown + result.breakdown
@@ -150,6 +161,15 @@ def run_stream(
             cov5.append(result.coverage(0.05))
         hits += result.cache_hits
         misses += result.cache_misses
+        # multi-GPU extras, duck-typed so single-device BatchResults pass through
+        balance = getattr(result, "load_balance", None)
+        if balance is not None:
+            imbalances.append(balance.imbalance)
+            lb_reports.append(balance.to_dict())
+        comm = getattr(result, "comm", None)
+        if comm is not None:
+            peer_bytes += comm.peer_bytes
+            allreduce_ns += comm.allreduce_ns
 
     n = max(1, len(batches))
     return RunResult(
@@ -167,6 +187,12 @@ def run_stream(
         coverage_top5=float(np.mean(cov5)) if cov5 else None,
         cache_hit_rate=hits / (hits + misses) if (hits + misses) else None,
         cache_bytes=cache_bytes // n,
+        num_devices=getattr(system, "num_devices", 1),
+        partitioner=getattr(getattr(system, "partitioner", None), "name", None),
+        peer_bytes=peer_bytes,
+        allreduce_ns=allreduce_ns,
+        imbalance=float(np.mean(imbalances)) if imbalances else None,
+        load_balance=lb_reports,
     )
 
 

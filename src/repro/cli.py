@@ -25,7 +25,9 @@ from repro.bench import figures
 from repro.bench.harness import build_workload, print_table, run_stream
 from repro.core.baselines import SYSTEM_NAMES
 from repro.core.results import ExperimentRecord, save_records, summarize
+from repro.gpu.device import INTERCONNECTS, ClusterConfig
 from repro.graphs import datasets
+from repro.multigpu.partition import PARTITIONER_NAMES
 from repro.query import QUERIES, QUERY_ORDER, query_by_name
 from repro.utils import format_bytes, format_time_ns
 
@@ -67,6 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--batch-size", type=int, default=None)
     run_p.add_argument("--batches", type=int, default=1)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--devices", type=int, default=None, metavar="N",
+                       help="simulate an N-GPU fleet (GCSM only; routes to the "
+                            "sharded MultiGpuEngine, N=1 matches single-GPU "
+                            "bit-for-bit)")
+    run_p.add_argument("--partitioner", default="hash",
+                       choices=list(PARTITIONER_NAMES),
+                       help="vertex-ownership strategy for --devices (default: hash)")
+    run_p.add_argument("--interconnect", default="nvlink",
+                       choices=sorted(INTERCONNECTS),
+                       help="peer-link cost preset for --devices (default: nvlink)")
+    run_p.add_argument("--workers", type=int, default=None, metavar="W",
+                       help="host thread-pool width for per-shard work "
+                            "(default: repro.parallel.default_workers() — "
+                            "min(cpu_count, 8)); simulated time is unaffected")
     run_p.add_argument("--json", metavar="PATH", default=None,
                        help="export the record as JSON")
 
@@ -123,10 +139,30 @@ def _cmd_list_queries() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_stream(
-        args.system, args.dataset, query_by_name(args.query),
-        batch_size=args.batch_size, num_batches=args.batches, seed=args.seed,
-    )
+    extra: dict = {}
+    if args.devices is not None:
+        if args.system != "GCSM":
+            print(f"--devices only applies to GCSM, not {args.system}",
+                  file=sys.stderr)
+            return 2
+        try:
+            extra["devices"] = ClusterConfig(
+                num_devices=args.devices, interconnect=args.interconnect
+            )
+        except ValueError as exc:
+            print(f"repro run: error: {exc}", file=sys.stderr)
+            return 2
+        extra["partitioner"] = args.partitioner
+        extra["workers"] = args.workers
+    try:
+        result = run_stream(
+            args.system, args.dataset, query_by_name(args.query),
+            batch_size=args.batch_size, num_batches=args.batches, seed=args.seed,
+            **extra,
+        )
+    except ValueError as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
     bd = result.breakdown
     print(result.describe())
     print(f"  ΔM total          : {result.delta_total:+d}")
@@ -137,6 +173,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.cache_hit_rate is not None:
         print(f"  cache hit rate    : {result.cache_hit_rate:.2f} "
               f"({format_bytes(result.cache_bytes)} cached)")
+    if result.num_devices > 1:
+        last = result.load_balance[-1] if result.load_balance else {}
+        print(f"  fleet             : {result.num_devices} devices "
+              f"({args.interconnect}), partitioner={result.partitioner}")
+        print(f"  comm              : peer {format_bytes(result.peer_bytes)}, "
+              f"all-reduce {format_time_ns(result.allreduce_ns)}")
+        if result.imbalance is not None:
+            print(f"  load balance      : mean imbalance {result.imbalance:.2f} "
+                  f"(last batch straggler: shard {last.get('straggler', '?')})")
     if args.json:
         save_records([ExperimentRecord.from_run(result)], args.json)
         print(f"  record written to {args.json}")

@@ -23,12 +23,9 @@ harness can drive them interchangeably.
 
 from __future__ import annotations
 
-import math
-from typing import Callable
-
 import numpy as np
 
-from repro.core.engine import BatchResult, GCSMEngine
+from repro.core.engine import BatchResult, GCSMEngine, reorganize_step, update_step
 from repro.core.matching import match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
@@ -93,11 +90,7 @@ class SimpleViewSystem:
         graph = self.graph
         breakdown = TimeBreakdown()
 
-        graph.apply_batch(batch)
-        upd = AccessCounters()
-        avg_deg = max(2.0, 2.0 * graph.num_edges / max(1, graph.num_vertices))
-        upd.record_compute(len(batch) * int(2 * (1 + math.log2(avg_deg))))
-        breakdown.update_ns = simulated_time_ns(upd, self.device, platform="cpu")
+        breakdown.update_ns = update_step(graph, batch, self.device)
 
         match_counters = AccessCounters()
         view = self._make_view(match_counters)
@@ -106,11 +99,7 @@ class SimpleViewSystem:
             match_counters, self.device, platform=view.platform
         )
 
-        reorg = graph.reorganize()
-        rc = AccessCounters()
-        rc.record_compute(reorg.merged_elements + reorg.lists_touched)
-        rc.record_access(Channel.CPU_DRAM, 0, reorg.merged_elements * BYTES_PER_NEIGHBOR)
-        breakdown.reorg_ns = simulated_time_ns(rc, self.device, platform="cpu")
+        breakdown.reorg_ns = reorganize_step(graph, self.device)
 
         self.batches_processed += 1
         self.total_delta += stats.signed_count
@@ -246,11 +235,7 @@ class VsgmSystem:
         graph = self.graph
         breakdown = TimeBreakdown()
 
-        graph.apply_batch(batch)
-        upd = AccessCounters()
-        avg_deg = max(2.0, 2.0 * graph.num_edges / max(1, graph.num_vertices))
-        upd.record_compute(len(batch) * int(2 * (1 + math.log2(avg_deg))))
-        breakdown.update_ns = simulated_time_ns(upd, self.device, platform="cpu")
+        breakdown.update_ns = update_step(graph, batch, self.device)
 
         # gather + copy (this is VSGM's "DC" phase of Fig. 13)
         gather_counters = AccessCounters()
@@ -275,11 +260,7 @@ class VsgmSystem:
         stats = match_batch(self.plans, batch, view)
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
 
-        reorg = graph.reorganize()
-        rc = AccessCounters()
-        rc.record_compute(reorg.merged_elements + reorg.lists_touched)
-        rc.record_access(Channel.CPU_DRAM, 0, reorg.merged_elements * BYTES_PER_NEIGHBOR)
-        breakdown.reorg_ns = simulated_time_ns(rc, self.device, platform="cpu")
+        breakdown.reorg_ns = reorganize_step(graph, self.device)
 
         self.batches_processed += 1
         self.total_delta += stats.signed_count
@@ -312,8 +293,25 @@ def make_system(
     seed: int = 0,
     **kwargs,
 ):
-    """Factory over every evaluated system (paper Fig. 8-14)."""
+    """Factory over every evaluated system (paper Fig. 8-14).
+
+    For ``GCSM``, passing ``devices`` (an int or a
+    :class:`~repro.gpu.device.ClusterConfig`) routes to the sharded
+    :class:`~repro.multigpu.engine.MultiGpuEngine` — together with the
+    optional ``partitioner`` and ``workers`` knobs.  ``devices`` omitted (or
+    ``None``) keeps the single-GPU engine.
+    """
     if name == "GCSM":
+        devices = kwargs.pop("devices", None)
+        partitioner = kwargs.pop("partitioner", "hash")
+        workers = kwargs.pop("workers", None)
+        if devices is not None:
+            from repro.multigpu import MultiGpuEngine
+
+            return MultiGpuEngine(
+                initial_graph, query, devices=devices, partitioner=partitioner,
+                device=device, seed=seed, workers=workers, **kwargs,
+            )
         return GCSMEngine(initial_graph, query, device=device, seed=seed, **kwargs)
     if name == "ZC":
         return ZeroCopySystem(initial_graph, query, device=device)

@@ -21,7 +21,7 @@ the Table II / Fig. 13 phase breakdown per batch.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,7 +46,68 @@ from repro.query.pattern import QueryGraph
 from repro.query.plan import compile_delta_plans
 from repro.utils import as_generator, require, spawn_generator
 
-__all__ = ["GCSMEngine", "BatchResult"]
+__all__ = [
+    "GCSMEngine",
+    "BatchResult",
+    "make_policy",
+    "update_step",
+    "pack_step",
+    "reorganize_step",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared batch-step internals.  GCSMEngine composes these; the sharded
+# engine (repro.multigpu.engine) reuses them per shard instead of forking
+# the pipeline — any change here changes both engines identically, which
+# is what keeps the N=1 equivalence invariant cheap to maintain.
+# ----------------------------------------------------------------------
+def make_policy(policy: str | CachePolicy) -> CachePolicy:
+    """Resolve a policy name to a CachePolicy instance."""
+    if isinstance(policy, CachePolicy):
+        return policy
+    if policy == "frequency":
+        return FrequencyCachePolicy()
+    if policy == "degree":
+        return DegreeCachePolicy()
+    if policy == "hybrid":
+        return HybridCachePolicy()
+    raise ValueError(f"unknown cache policy {policy!r}")
+
+
+def update_step(graph: DynamicGraph, batch: UpdateBatch, device: DeviceConfig) -> float:
+    """Step 1: fold ``ΔE`` into the CPU store; returns simulated ns."""
+    graph.apply_batch(batch)
+    counters = AccessCounters()
+    avg_deg = max(2.0, 2.0 * graph.num_edges / max(1, graph.num_vertices))
+    per_update_ops = int(2 * (1 + math.log2(avg_deg)))
+    counters.record_compute(len(batch) * per_update_ops)
+    return simulated_time_ns(counters, device, platform="cpu")
+
+
+def pack_step(
+    graph: DynamicGraph, selected: np.ndarray, device: DeviceConfig
+) -> tuple[DcsrCache, float]:
+    """Step 3: pack ``selected`` vertices' lists into a DCSR buffer and DMA
+    it to the device; returns ``(cache, simulated_ns)``."""
+    cache = DcsrCache.build(graph, selected)
+    pack_counters = AccessCounters()
+    pack_counters.record_compute(int(cache.colidx.shape[0]) + cache.num_cached)
+    pack_cpu_ns = simulated_time_ns(pack_counters, device, platform="cpu")
+    dma_counters = AccessCounters()
+    dma_ns = DmaEngine(device, dma_counters).transfer(cache.total_bytes)
+    return cache, pack_cpu_ns + dma_ns
+
+
+def reorganize_step(graph: DynamicGraph, device: DeviceConfig) -> float:
+    """Step 5: re-sort updated CPU lists; returns simulated ns."""
+    reorg_stats = graph.reorganize()
+    counters = AccessCounters()
+    counters.record_compute(reorg_stats.merged_elements + reorg_stats.lists_touched)
+    counters.record_access(
+        Channel.CPU_DRAM, 0, reorg_stats.merged_elements * BYTES_PER_NEIGHBOR
+    )
+    return simulated_time_ns(counters, device, platform="cpu")
 
 
 @dataclass
@@ -144,16 +205,7 @@ class GCSMEngine:
         self.estimator = FrequencyEstimator(
             self.graph, self.device, seed=spawn_generator(rng), survival=survival
         )
-        if isinstance(policy, CachePolicy):
-            self.policy: CachePolicy = policy
-        elif policy == "frequency":
-            self.policy = FrequencyCachePolicy()
-        elif policy == "degree":
-            self.policy = DegreeCachePolicy()
-        elif policy == "hybrid":
-            self.policy = HybridCachePolicy()
-        else:
-            raise ValueError(f"unknown cache policy {policy!r}")
+        self.policy: CachePolicy = make_policy(policy)
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -165,12 +217,7 @@ class GCSMEngine:
         breakdown = TimeBreakdown()
 
         # -- step 1: dynamic graph update on the CPU ----------------------
-        graph.apply_batch(batch)
-        update_counters = AccessCounters()
-        avg_deg = max(2.0, 2.0 * graph.num_edges / max(1, graph.num_vertices))
-        per_update_ops = int(2 * (1 + math.log2(avg_deg)))
-        update_counters.record_compute(len(batch) * per_update_ops)
-        breakdown.update_ns = simulated_time_ns(update_counters, self.device, platform="cpu")
+        breakdown.update_ns = update_step(graph, batch, self.device)
 
         # -- step 2: frequency estimation (CPU) ---------------------------
         estimation: EstimationResult | None = None
@@ -190,13 +237,7 @@ class GCSMEngine:
         # -- step 3: pack frequent lists + single DMA ----------------------
         frequencies = estimation.frequencies if estimation is not None else None
         selected = self.policy.select(graph, frequencies, self.cache_budget_bytes)
-        cache = DcsrCache.build(graph, selected)
-        pack_counters = AccessCounters()
-        pack_counters.record_compute(int(cache.colidx.shape[0]) + cache.num_cached)
-        pack_cpu_ns = simulated_time_ns(pack_counters, self.device, platform="cpu")
-        dma_counters = AccessCounters()
-        dma_ns = DmaEngine(self.device, dma_counters).transfer(cache.total_bytes)
-        breakdown.pack_ns = pack_cpu_ns + dma_ns
+        cache, breakdown.pack_ns = pack_step(graph, selected, self.device)
 
         # -- step 4: incremental matching on the GPU -----------------------
         match_counters = AccessCounters()
@@ -205,13 +246,7 @@ class GCSMEngine:
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
 
         # -- step 5: reorganize CPU lists ----------------------------------
-        reorg_stats = graph.reorganize()
-        reorg_counters = AccessCounters()
-        reorg_counters.record_compute(reorg_stats.merged_elements + reorg_stats.lists_touched)
-        reorg_counters.record_access(
-            Channel.CPU_DRAM, 0, reorg_stats.merged_elements * BYTES_PER_NEIGHBOR
-        )
-        breakdown.reorg_ns = simulated_time_ns(reorg_counters, self.device, platform="cpu")
+        breakdown.reorg_ns = reorganize_step(graph, self.device)
 
         self.batches_processed += 1
         self.total_delta += stats.signed_count

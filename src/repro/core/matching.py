@@ -27,14 +27,14 @@ view deciding where reads are served from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.graphs.stream import UpdateBatch
 from repro.gpu.views import GraphView
-from repro.query.pattern import WILDCARD_LABEL, QueryGraph
+from repro.query.pattern import WILDCARD_LABEL
 from repro.query.plan import EdgeVersion, MatchPlan
 from repro.utils import VERTEX_DTYPE
 
@@ -253,6 +253,7 @@ def match_batch(
     *,
     sink: EmbeddingSink | None = None,
     filters: dict[int, np.ndarray] | None = None,
+    root_mask: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> MatchStats:
     """Run all ΔM_i plans against a signed batch (paper Fig. 2b-f).
 
@@ -261,11 +262,19 @@ def match_batch(
     Returns aggregated stats whose ``signed_count`` is the exact ΔM.
     ``filters`` optionally restricts each query vertex to a sorted candidate
     array (RapidFlow's index pruning); root endpoints are filtered too.
+    ``root_mask`` optionally selects a subset of the directed roots — given
+    the ``(r, 2)`` root array it returns a boolean mask; multi-GPU sharding
+    uses it to route each root to the shard owning its first endpoint.
+    Per-root work is independent (counters are sums over roots), so any
+    disjoint cover of the roots reproduces the unsharded counters exactly.
     """
     labels = view.graph.labels
     total = MatchStats()
     for plan in plans:
         roots, signs = delta_roots(plan, batch, labels)
+        if root_mask is not None and roots.shape[0]:
+            mask = root_mask(roots)
+            roots, signs = roots[mask], signs[mask]
         if filters and roots.shape[0]:
             mask = np.ones(roots.shape[0], dtype=bool)
             for col, u in ((0, plan.order[0]), (1, plan.order[1])):

@@ -41,6 +41,14 @@ class ExperimentRecord:
     cache_hit_rate: float | None = None
     coverage_top1: float | None = None
     coverage_top5: float | None = None
+    # -- multi-GPU extras (defaults keep old JSON files loadable) ----------
+    num_devices: int = 1
+    partitioner: str | None = None
+    comm_ns: float = 0.0
+    peer_bytes: int = 0
+    imbalance: float | None = None
+    #: per-batch shard load-balance reports (``LoadBalanceReport.to_dict()``)
+    load_balance: list = field(default_factory=list)
 
     @classmethod
     def from_run(cls, run) -> "ExperimentRecord":
@@ -64,6 +72,12 @@ class ExperimentRecord:
             cache_hit_rate=run.cache_hit_rate,
             coverage_top1=run.coverage_top1,
             coverage_top5=run.coverage_top5,
+            num_devices=getattr(run, "num_devices", 1),
+            partitioner=getattr(run, "partitioner", None),
+            comm_ns=getattr(bd, "comm_ns", 0.0),
+            peer_bytes=getattr(run, "peer_bytes", 0),
+            imbalance=getattr(run, "imbalance", None),
+            load_balance=list(getattr(run, "load_balance", []) or []),
         )
 
     def to_dict(self) -> dict:
@@ -85,6 +99,12 @@ class ExperimentRecord:
             "cache_hit_rate": self.cache_hit_rate,
             "coverage_top1": self.coverage_top1,
             "coverage_top5": self.coverage_top5,
+            "num_devices": self.num_devices,
+            "partitioner": self.partitioner,
+            "comm_ns": self.comm_ns,
+            "peer_bytes": self.peer_bytes,
+            "imbalance": self.imbalance,
+            "load_balance": self.load_balance,
         }
 
     @classmethod

@@ -17,7 +17,7 @@ Sec. II-C: "zero-copy access stalls the GPU kernel"), so they *add*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import DeviceConfig
@@ -43,9 +43,16 @@ def simulated_time_ns(
             compute,
             device.gpu_read_time_ns(counters.bytes_by_channel[Channel.GPU_GLOBAL]),
         )
-        stalls = device.zero_copy_time_ns(
-            counters.transactions_by_channel[Channel.ZERO_COPY]
-        ) + device.um_fault_time_ns(counters.um_faults)
+        stalls = (
+            device.zero_copy_time_ns(
+                counters.transactions_by_channel[Channel.ZERO_COPY]
+            )
+            + device.um_fault_time_ns(counters.um_faults)
+            # remote (peer) reads are as fine-grained as zero-copy ones and
+            # stall the requesting kernel the same way — only the link is
+            # faster (NVLink) or comparable (PCIe P2P)
+            + device.peer_time_ns(counters.transactions_by_channel[Channel.PEER])
+        )
         dma = device.dma_time_ns(counters.dma_bytes, counters.dma_requests) \
             if counters.dma_requests else 0.0
         return overlap + stalls + dma
@@ -73,6 +80,8 @@ class TimeBreakdown:
     * ``pack_ns``     — step 3, DCSR packing + DMA to the GPU ("DC")
     * ``match_ns``    — step 4, the incremental matching kernel
     * ``reorg_ns``    — step 5, CPU graph reorganization
+    * ``comm_ns``     — multi-GPU only: cross-device collectives (ΔM
+      all-reduce); always 0 on a single device
     """
 
     update_ns: float = 0.0
@@ -80,6 +89,7 @@ class TimeBreakdown:
     pack_ns: float = 0.0
     match_ns: float = 0.0
     reorg_ns: float = 0.0
+    comm_ns: float = 0.0
 
     @property
     def total_ns(self) -> float:
@@ -89,6 +99,7 @@ class TimeBreakdown:
             + self.pack_ns
             + self.match_ns
             + self.reorg_ns
+            + self.comm_ns
         )
 
     @property
@@ -108,6 +119,7 @@ class TimeBreakdown:
             self.pack_ns + other.pack_ns,
             self.match_ns + other.match_ns,
             self.reorg_ns + other.reorg_ns,
+            self.comm_ns + other.comm_ns,
         )
 
     def scaled(self, factor: float) -> "TimeBreakdown":
@@ -117,4 +129,5 @@ class TimeBreakdown:
             self.pack_ns * factor,
             self.match_ns * factor,
             self.reorg_ns * factor,
+            self.comm_ns * factor,
         )

@@ -26,6 +26,7 @@ class Channel(enum.Enum):
     ZERO_COPY = "zero_copy"  # CPU pinned memory over PCIe, 128 B lines
     UM = "unified_memory"  # page-fault-driven migration
     CPU_DRAM = "cpu_dram"  # host-side execution (CPU baselines)
+    PEER = "peer"  # device-to-device reads (NVLink / PCIe P2P, multi-GPU)
 
 
 @dataclass
@@ -165,6 +166,7 @@ class AccessCounters:
             "zero_copy_bytes": float(self.bytes_by_channel[Channel.ZERO_COPY]),
             "gpu_global_bytes": float(self.bytes_by_channel[Channel.GPU_GLOBAL]),
             "cpu_dram_bytes": float(self.bytes_by_channel[Channel.CPU_DRAM]),
+            "peer_bytes": float(self.bytes_by_channel[Channel.PEER]),
             "um_faults": float(self.um_faults),
             "um_hits": float(self.um_hits),
             "dma_bytes": float(self.dma_bytes),

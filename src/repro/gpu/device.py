@@ -31,7 +31,14 @@ from repro.graphs.datasets import (
     DEVICE_TOTAL_BYTES,
 )
 
-__all__ = ["DeviceConfig", "default_device", "BYTES_PER_NEIGHBOR"]
+__all__ = [
+    "DeviceConfig",
+    "ClusterConfig",
+    "default_device",
+    "default_cluster",
+    "BYTES_PER_NEIGHBOR",
+    "INTERCONNECTS",
+]
 
 #: Neighbor-list entry width: the paper's CUDA kernels use int32 vertex ids.
 BYTES_PER_NEIGHBOR = 4
@@ -56,6 +63,16 @@ class DeviceConfig:
     pcie_bandwidth_bpns: float = 16.0  # ~16 GB/s effective PCIe 3.0 x16
     zero_copy_line_bytes: int = 128  # zero-copy moves 128 B cache lines
     zero_copy_line_overhead_ns: float = 2.0  # per-line issue overhead (amortized over warps)
+
+    # --- peer interconnect (multi-GPU) -----------------------------------
+    #: device-to-device reads of a remote shard's cached lists.  Defaults are
+    #: NVLink-class: well above PCIe bandwidth, small per-line issue cost.
+    #: A remote read still stalls the requesting kernel (same reasoning as
+    #: zero-copy: fine-grained, latency-bound), so PEER traffic is priced as
+    #: a stall, not overlapped.
+    peer_bandwidth_bpns: float = 40.0
+    peer_line_bytes: int = 128
+    peer_line_overhead_ns: float = 1.5
 
     # --- unified memory -------------------------------------------------
     um_page_bytes: int = 4096
@@ -100,6 +117,16 @@ class DeviceConfig:
         moved = lines * self.zero_copy_line_bytes
         return moved / self.pcie_bandwidth_bpns + lines * self.zero_copy_line_overhead_ns
 
+    def peer_lines(self, nbytes: int) -> int:
+        """Number of interconnect lines a peer read of ``nbytes`` touches."""
+        if nbytes <= 0:
+            return 0
+        return -(-nbytes // self.peer_line_bytes)
+
+    def peer_time_ns(self, lines: int) -> float:
+        moved = lines * self.peer_line_bytes
+        return moved / self.peer_bandwidth_bpns + lines * self.peer_line_overhead_ns
+
     def um_fault_time_ns(self, faults: int) -> float:
         moved = faults * self.um_page_bytes
         return faults * self.um_fault_overhead_ns + moved / self.pcie_bandwidth_bpns
@@ -127,3 +154,73 @@ class DeviceConfig:
 def default_device() -> DeviceConfig:
     """The scaled RTX3090-class device used by all paper experiments."""
     return DeviceConfig()
+
+
+#: named interconnect presets: (peer_bandwidth_bpns, peer_line_overhead_ns).
+#: ``nvlink`` is an NVLink3-class point-to-point link; ``pcie`` is P2P over
+#: the shared PCIe root complex — barely better than host zero-copy, which is
+#: why PCIe-only multi-GPU boxes scale poorly on fine-grained reads.
+INTERCONNECTS: dict[str, tuple[float, float]] = {
+    "nvlink": (40.0, 1.5),
+    "pcie": (12.0, 2.5),
+}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A fleet of identical devices joined by a peer interconnect.
+
+    ``num_devices`` simulated GPUs, each with its own ``base`` DeviceConfig
+    (own global memory, cache buffer, and host PCIe link — multi-GPU hosts
+    give every card its own x16 slot).  ``interconnect`` picks the peer-link
+    cost preset applied on top of ``base``.  ``allreduce_latency_ns`` is the
+    per-step software/launch latency of the ring all-reduce used to combine
+    per-shard ΔM after matching — scaled by the same factor as
+    ``dma_setup_ns`` so the launch-dominated collective keeps its real-world
+    weight relative to the scaled-down batches.
+    """
+
+    num_devices: int = 1
+    interconnect: str = "nvlink"
+    base: DeviceConfig = DeviceConfig()
+    allreduce_latency_ns: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if self.interconnect not in INTERCONNECTS:
+            raise ValueError(
+                f"unknown interconnect {self.interconnect!r}; "
+                f"choose from {sorted(INTERCONNECTS)}"
+            )
+
+    def device(self) -> DeviceConfig:
+        """The per-shard DeviceConfig with the interconnect preset applied."""
+        bw, overhead = INTERCONNECTS[self.interconnect]
+        return replace(
+            self.base, peer_bandwidth_bpns=bw, peer_line_overhead_ns=overhead
+        )
+
+    def devices(self) -> list[DeviceConfig]:
+        """One config per shard (identical; heterogeneity is future work)."""
+        cfg = self.device()
+        return [cfg for _ in range(self.num_devices)]
+
+    def allreduce_time_ns(self, nbytes: int) -> float:
+        """Ring all-reduce of ``nbytes`` across the fleet: ``2(N-1)`` steps,
+        each paying the step latency plus a ``nbytes/N`` payload transfer.
+        Zero for a single device (nothing to combine)."""
+        n = self.num_devices
+        if n <= 1:
+            return 0.0
+        dev = self.device()
+        steps = 2 * (n - 1)
+        per_step_payload = max(1, nbytes // n)
+        return steps * (
+            self.allreduce_latency_ns + per_step_payload / dev.peer_bandwidth_bpns
+        )
+
+
+def default_cluster(num_devices: int = 1, interconnect: str = "nvlink") -> ClusterConfig:
+    """Convenience: a fleet of default devices on the given interconnect."""
+    return ClusterConfig(num_devices=num_devices, interconnect=interconnect)

@@ -1,0 +1,50 @@
+"""Multi-GPU sharded execution of the GCSM pipeline (simulated fleet).
+
+Public surface:
+
+* :class:`~repro.multigpu.engine.MultiGpuEngine` — the sharded engine;
+  drop-in for :class:`~repro.core.engine.GCSMEngine` (``devices=1`` is
+  bit-identical to it).
+* :mod:`~repro.multigpu.partition` — hash / range / frequency-aware
+  vertex-ownership strategies.
+* :mod:`~repro.multigpu.shard` — per-device state and the peer-read path.
+* :mod:`~repro.multigpu.comm` — interconnect cost model (PEER reads,
+  ΔM all-reduce) and per-batch traffic reports.
+"""
+
+from repro.gpu.counters import Channel
+from repro.multigpu.comm import CommReport, allreduce_delta_ns, comm_report
+from repro.multigpu.engine import (
+    LoadBalanceReport,
+    MultiBatchResult,
+    MultiGpuEngine,
+    ShardBatchReport,
+)
+from repro.multigpu.partition import (
+    PARTITIONER_NAMES,
+    FrequencyPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from repro.multigpu.shard import Shard, ShardedDeviceView
+
+__all__ = [
+    "MultiGpuEngine",
+    "MultiBatchResult",
+    "LoadBalanceReport",
+    "ShardBatchReport",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "FrequencyPartitioner",
+    "make_partitioner",
+    "PARTITIONER_NAMES",
+    "Shard",
+    "ShardedDeviceView",
+    "CommReport",
+    "comm_report",
+    "allreduce_delta_ns",
+    "Channel",
+]

@@ -1,0 +1,384 @@
+"""Sharded execution of the five-step GCSM pipeline over N devices.
+
+:class:`MultiGpuEngine` mirrors :class:`~repro.core.engine.GCSMEngine`
+batch-for-batch, but fans the device-side steps over a fleet:
+
+1. **Update** — host-side, shared (one CPU store feeds every device).
+2. **Estimate** — host-side, shared: one random-walk pass; its estimates
+   drive both cache selection *and* the frequency-aware partitioner.
+3. **Pack** — per shard: each device selects the hot vertices *it owns*
+   within its own buffer budget, packs its DCSR slice, and uploads over its
+   own host link.  Phase time is the slowest shard (uploads overlap).
+4. **Match** — per shard: directed roots are routed to the shard owning
+   their first endpoint; each shard's kernel reads local cache / peer
+   caches / host zero-copy as the walk dictates.  Phase time is the slowest
+   shard, plus the ΔM all-reduce (reported separately as ``comm_ns``).
+5. **Reorganize** — host-side, shared.
+
+Steps 3 and 4 reuse the factored single-GPU internals
+(:func:`~repro.core.engine.pack_step`, the shared matching executor) rather
+than forking them, and run under :func:`repro.parallel.parallel_map` for
+wall-clock speedup of the harness itself.
+
+**Invariant (enforced by tests):** with ``devices=1`` the engine takes the
+exact single-GPU code path — no owner map, no peer caches, no collective —
+and reproduces :class:`~repro.core.engine.GCSMEngine`'s match counts,
+channel byte counters, and simulated time bit-for-bit.  For ``N > 1`` the
+match counts stay identical (roots are a disjoint cover; per-root work is
+independent) while the timing shows sub-linear speedup dominated by
+cross-shard PEER traffic and the serial host phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import CachePolicy
+from repro.core.engine import (
+    BatchResult,
+    GCSMEngine,
+    make_policy,
+    reorganize_step,
+    update_step,
+)
+from repro.core.frequency import EstimationResult, FrequencyEstimator
+from repro.core.matching import MatchStats, match_batch
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.graphs.static_graph import StaticGraph
+from repro.graphs.stream import UpdateBatch
+from repro.gpu.clock import TimeBreakdown, simulated_time_ns
+from repro.gpu.counters import AccessCounters, Channel
+from repro.gpu.device import ClusterConfig, DeviceConfig, default_device
+from repro.multigpu.comm import CommReport, allreduce_delta_ns, comm_report
+from repro.multigpu.partition import Partitioner, make_partitioner
+from repro.multigpu.shard import Shard, ShardedDeviceView
+from repro.parallel import parallel_map
+from repro.query.pattern import QueryGraph
+from repro.query.plan import compile_delta_plans
+from repro.utils import as_generator, require, spawn_generator
+
+__all__ = ["MultiGpuEngine", "MultiBatchResult", "LoadBalanceReport", "ShardBatchReport"]
+
+
+@dataclass(frozen=True)
+class ShardBatchReport:
+    """What one shard did during one batch."""
+
+    shard_id: int
+    roots_processed: int
+    match_ns: float
+    pack_ns: float
+    cache_bytes: int
+    cached_vertices: int
+    local_hits: int
+    local_misses: int
+    remote_hits: int
+    remote_misses: int
+    peer_bytes: int
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "roots_processed": self.roots_processed,
+            "match_ns": self.match_ns,
+            "pack_ns": self.pack_ns,
+            "cache_bytes": self.cache_bytes,
+            "cached_vertices": self.cached_vertices,
+            "local_hits": self.local_hits,
+            "local_misses": self.local_misses,
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "peer_bytes": self.peer_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Per-batch straggler diagnosis of the fleet (the scaling table's
+    imbalance column): max/mean shard match time and who the straggler is."""
+
+    shard_match_ns: tuple[float, ...]
+    shard_roots: tuple[int, ...]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.shard_match_ns)
+
+    @property
+    def max_ns(self) -> float:
+        return max(self.shard_match_ns) if self.shard_match_ns else 0.0
+
+    @property
+    def mean_ns(self) -> float:
+        return (
+            sum(self.shard_match_ns) / len(self.shard_match_ns)
+            if self.shard_match_ns
+            else 0.0
+        )
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean shard match time; 1.0 is a perfectly balanced fleet."""
+        return self.max_ns / self.mean_ns if self.mean_ns else 1.0
+
+    @property
+    def straggler(self) -> int:
+        """Shard id of the slowest device."""
+        if not self.shard_match_ns:
+            return 0
+        return int(max(range(len(self.shard_match_ns)),
+                       key=lambda i: self.shard_match_ns[i]))
+
+    def to_dict(self) -> dict:
+        return {
+            "num_devices": self.num_devices,
+            "shard_match_ns": list(self.shard_match_ns),
+            "shard_roots": list(self.shard_roots),
+            "max_ns": self.max_ns,
+            "mean_ns": self.mean_ns,
+            "imbalance": self.imbalance,
+            "straggler": self.straggler,
+        }
+
+
+@dataclass
+class MultiBatchResult(BatchResult):
+    """A :class:`~repro.core.engine.BatchResult` plus fleet diagnostics.
+
+    Duck-type compatible with the single-GPU result, so the bench harness
+    drives both engines through the same aggregation loop; the extras carry
+    the per-shard load-balance report and cross-device traffic summary.
+    """
+
+    shard_reports: list[ShardBatchReport] = field(default_factory=list)
+    load_balance: LoadBalanceReport | None = None
+    comm: CommReport | None = None
+
+
+class _ShardMatchOutcome:
+    """Mutable per-shard match-step result (internal)."""
+
+    __slots__ = ("stats", "counters", "match_ns", "view")
+
+    def __init__(self, stats: MatchStats, counters: AccessCounters,
+                 match_ns: float, view: ShardedDeviceView) -> None:
+        self.stats = stats
+        self.counters = counters
+        self.match_ns = match_ns
+        self.view = view
+
+
+class MultiGpuEngine:
+    """Continuous subgraph matching sharded across N simulated devices.
+
+    Parameters mirror :class:`~repro.core.engine.GCSMEngine` (``policy``,
+    ``num_walks``, ``adaptive_walks``, ``cache_budget_bytes``, ``survival``,
+    ``seed``) plus:
+
+    devices:
+        Device count, or a full :class:`~repro.gpu.device.ClusterConfig`
+        (interconnect choice, all-reduce latency, base device).
+    partitioner:
+        ``"hash"`` | ``"range"`` | ``"freq"`` or a
+        :class:`~repro.multigpu.partition.Partitioner` instance.  The
+        frequency-aware partitioner re-runs per batch on that batch's
+        random-walk estimates (the cache is rebuilt and re-shipped every
+        batch anyway, so re-homing is free).
+    device:
+        Base per-shard DeviceConfig; ignored when ``devices`` is a
+        ClusterConfig (use its ``base``).
+    workers:
+        Thread-pool width for fanning the per-shard pack/match steps
+        (wall-clock only — simulated time is unaffected).  ``None`` uses
+        :func:`repro.parallel.default_workers`.
+    cache_budget_bytes:
+        Per-device budget: every card in the fleet has its own buffer of
+        this size (aggregate fleet cache capacity grows with N).
+    """
+
+    def __init__(
+        self,
+        initial_graph: StaticGraph,
+        query: QueryGraph,
+        *,
+        devices: int | ClusterConfig = 1,
+        partitioner: str | Partitioner = "hash",
+        device: DeviceConfig | None = None,
+        policy: str | CachePolicy = "frequency",
+        num_walks: int | None = None,
+        adaptive_walks: bool = False,
+        cache_budget_bytes: int | None = None,
+        survival: float | None = 1.0,
+        seed: int | np.random.Generator | None = 0,
+        workers: int | None = None,
+    ) -> None:
+        if isinstance(devices, ClusterConfig):
+            self.cluster = devices
+        else:
+            self.cluster = ClusterConfig(
+                num_devices=int(devices), base=device or default_device()
+            )
+        self.num_devices = self.cluster.num_devices
+        self.device = self.cluster.device()
+        self.cache_budget_bytes = (
+            cache_budget_bytes
+            if cache_budget_bytes is not None
+            else self.device.cache_buffer_bytes
+        )
+        self.graph = DynamicGraph(initial_graph)
+        self.query = query
+        self.plans = compile_delta_plans(query)
+        self.num_walks = num_walks
+        self.adaptive_walks = adaptive_walks
+        # same RNG derivation as GCSMEngine: estimates are bit-identical
+        rng = as_generator(seed)
+        self.estimator = FrequencyEstimator(
+            self.graph, self.device, seed=spawn_generator(rng), survival=survival
+        )
+        self.policy = make_policy(policy)
+        self.partitioner = make_partitioner(partitioner)
+        self.workers = workers
+        self.shards = [
+            Shard(i, dev, self.cache_budget_bytes)
+            for i, dev in enumerate(self.cluster.devices())
+        ]
+        self.batches_processed = 0
+        self.total_delta = 0
+
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: UpdateBatch) -> MultiBatchResult:
+        """Run the sharded five-step pipeline for one batch."""
+        require(len(batch) > 0, "empty batch")
+        graph = self.graph
+        breakdown = TimeBreakdown()
+
+        # -- step 1: dynamic graph update (host, shared) -------------------
+        breakdown.update_ns = update_step(graph, batch, self.device)
+
+        # -- step 2: frequency estimation (host, shared) -------------------
+        estimation: EstimationResult | None = None
+        if self.policy.requires_estimation:
+            if self.adaptive_walks:
+                estimation = self.estimator.estimate_adaptive(
+                    self.plans, batch, initial_walks=self.num_walks
+                )
+            else:
+                estimation = self.estimator.estimate(
+                    self.plans, batch, num_walks=self.num_walks
+                )
+            breakdown.estimate_ns = simulated_time_ns(
+                estimation.counters, self.device, platform="cpu_estimator"
+            )
+        frequencies = estimation.frequencies if estimation is not None else None
+
+        # -- partition (host; folded into the pack phase) ------------------
+        owner: np.ndarray | None = None
+        partition_ns = 0.0
+        if self.num_devices > 1:
+            part_counters = AccessCounters()
+            owner = self.partitioner.assign(
+                graph, frequencies, self.num_devices, part_counters
+            )
+            partition_ns = simulated_time_ns(part_counters, self.device, platform="cpu")
+
+        # -- step 3: per-shard select + pack + DMA (own links overlap) -----
+        ranked = self.policy.rank(graph, frequencies)
+        parallel_map(
+            lambda shard: shard.select_and_pack(graph, ranked, owner),
+            self.shards,
+            workers=self.workers,
+        )
+        breakdown.pack_ns = partition_ns + max(s.pack_ns for s in self.shards)
+
+        # -- step 4: per-shard incremental matching ------------------------
+        caches = [s.cache for s in self.shards]
+
+        def _match_one(shard: Shard) -> _ShardMatchOutcome:
+            counters = AccessCounters()
+            view = ShardedDeviceView(
+                graph, shard.device, counters, shard.cache,
+                shard_id=shard.shard_id, owner=owner, peer_caches=caches,
+            )
+            mask = None
+            if owner is not None:
+                sid = shard.shard_id
+                mask = lambda roots: owner[roots[:, 0]] == sid  # noqa: E731
+            stats = match_batch(self.plans, batch, view, root_mask=mask)
+            match_ns = simulated_time_ns(counters, shard.device, platform="gpu")
+            return _ShardMatchOutcome(stats, counters, match_ns, view)
+
+        outcomes = parallel_map(_match_one, self.shards, workers=self.workers)
+        breakdown.match_ns = max(o.match_ns for o in outcomes)
+        breakdown.comm_ns = (
+            allreduce_delta_ns(self.cluster, len(self.plans))
+            if self.num_devices > 1
+            else 0.0
+        )
+
+        # -- step 5: reorganize CPU lists (host, shared) -------------------
+        breakdown.reorg_ns = reorganize_step(graph, self.device)
+
+        # -- aggregate across the fleet ------------------------------------
+        total_stats = MatchStats()
+        merged = AccessCounters()
+        for o in outcomes:
+            total_stats.merge(o.stats)
+            merged.merge(o.counters)
+        shard_reports = [
+            ShardBatchReport(
+                shard_id=s.shard_id,
+                roots_processed=o.stats.roots_processed,
+                match_ns=o.match_ns,
+                pack_ns=s.pack_ns,
+                cache_bytes=s.cache.total_bytes,
+                cached_vertices=s.cache.num_cached,
+                local_hits=o.view.hits,
+                local_misses=o.view.misses,
+                remote_hits=o.view.remote_hits,
+                remote_misses=o.view.remote_misses,
+                peer_bytes=o.counters.bytes_by_channel[Channel.PEER],
+            )
+            for s, o in zip(self.shards, outcomes)
+        ]
+        balance = LoadBalanceReport(
+            shard_match_ns=tuple(o.match_ns for o in outcomes),
+            shard_roots=tuple(o.stats.roots_processed for o in outcomes),
+        )
+        comm = comm_report([o.counters for o in outcomes], breakdown.comm_ns)
+
+        self.batches_processed += 1
+        self.total_delta += total_stats.signed_count
+        return MultiBatchResult(
+            delta_count=total_stats.signed_count,
+            match_stats=total_stats,
+            breakdown=breakdown,
+            match_counters=merged,
+            estimation=estimation,
+            cached_vertices=np.concatenate([s.selected for s in self.shards])
+            if self.shards
+            else np.empty(0, dtype=np.int64),
+            cache_bytes=sum(s.cache.total_bytes for s in self.shards),
+            cache_hits=sum(o.view.total_hits for o in outcomes),
+            cache_misses=sum(o.view.total_misses for o in outcomes),
+            shard_reports=shard_reports,
+            load_balance=balance,
+            comm=comm,
+        )
+
+    def process_stream(self, batches: list[UpdateBatch]) -> list[MultiBatchResult]:
+        """Convenience: process a whole stream, returning per-batch results."""
+        return [self.process_batch(b) for b in batches]
+
+    def initial_match(self) -> tuple[int, float]:
+        """Static bootstrap pass — see :meth:`GCSMEngine.initial_match`.
+
+        Sharding the static pass is future work; it reuses the single-GPU
+        implementation (zero-copy path on one device).
+        """
+        return GCSMEngine.initial_match(self)  # type: ignore[arg-type]
+
+    def snapshot(self) -> StaticGraph:
+        """Current settled graph snapshot."""
+        return self.graph.snapshot()

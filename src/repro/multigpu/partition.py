@@ -1,0 +1,198 @@
+"""Graph partitioners: which shard owns each vertex.
+
+Ownership drives two things in the sharded pipeline:
+
+* **root routing** — a directed root delta edge ``(x_a, x_b)`` is matched by
+  the shard owning ``x_a``, so the owner map is also the work distribution;
+* **cache placement** — each shard caches only the hot lists it owns, so a
+  read of a remote shard's cached list crosses the peer interconnect
+  (:data:`repro.gpu.counters.Channel.PEER`).
+
+Three strategies are provided:
+
+* :class:`HashPartitioner` — multiplicative-hash the vertex id.  Balanced
+  and oblivious: neighbors land on random shards, so ``(N-1)/N`` of all
+  cached-list reads are remote.
+* :class:`RangePartitioner` — contiguous vertex-id ranges balanced by
+  degree mass.  Captures id-locality when the graph has it (road networks);
+  on shuffled social graphs it behaves like hash.
+* :class:`FrequencyPartitioner` — frequency-aware: uses the Sec. IV
+  random-walk estimates to find the hot vertices (exactly the ones every
+  shard will cache) and re-homes each one onto the shard that already owns
+  the plurality of its neighbors.  Roots are delta edges, so the shard
+  processing a root owns one endpoint — co-locating a hot list with its
+  neighborhood converts PEER reads into local ``GPU_GLOBAL`` reads.  Cold
+  vertices keep their hash home, which keeps root routing balanced.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.gpu.counters import AccessCounters
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "FrequencyPartitioner",
+    "make_partitioner",
+    "PARTITIONER_NAMES",
+]
+
+#: Knuth's multiplicative hash constant (2^32 / phi), mod 2^32.
+_HASH_MULT = np.uint64(2654435761)
+_HASH_MASK = np.uint64(0xFFFFFFFF)
+
+
+def _hash_owners(num_vertices: int, num_devices: int) -> np.ndarray:
+    ids = np.arange(num_vertices, dtype=np.uint64)
+    mixed = (ids * _HASH_MULT) & _HASH_MASK
+    return (mixed % np.uint64(num_devices)).astype(np.int64)
+
+
+class Partitioner(ABC):
+    """Strategy assigning every vertex to one of ``num_devices`` shards."""
+
+    name: str = "abstract"
+    #: whether :meth:`assign` wants the random-walk frequency estimates
+    requires_frequencies: bool = False
+
+    @abstractmethod
+    def assign(
+        self,
+        graph: DynamicGraph,
+        frequencies: np.ndarray | None,
+        num_devices: int,
+        counters: AccessCounters | None = None,
+    ) -> np.ndarray:
+        """Return ``int64[num_vertices]`` owner ids in ``[0, num_devices)``.
+
+        ``counters``, when given, receives the host-side compute cost of
+        producing the assignment (priced into the pack phase).
+        """
+
+
+class HashPartitioner(Partitioner):
+    """Owner = multiplicative hash of the vertex id, mod N."""
+
+    name = "hash"
+
+    def assign(self, graph, frequencies, num_devices, counters=None):
+        if counters is not None:
+            counters.record_compute(graph.num_vertices)
+        return _hash_owners(graph.num_vertices, num_devices)
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous id ranges, boundaries placed to balance degree mass."""
+
+    name = "range"
+
+    def assign(self, graph, frequencies, num_devices, counters=None):
+        n = graph.num_vertices
+        degrees = graph.degrees_new().astype(np.float64)
+        if counters is not None:
+            counters.record_compute(2 * n)
+        total = degrees.sum()
+        if total <= 0:
+            # empty graph: plain id ranges
+            return np.minimum(
+                (np.arange(n, dtype=np.int64) * num_devices) // max(1, n),
+                num_devices - 1,
+            )
+        cumulative = np.cumsum(degrees)
+        targets = total * (np.arange(1, num_devices, dtype=np.float64) / num_devices)
+        bounds = np.searchsorted(cumulative, targets)
+        return np.searchsorted(bounds, np.arange(n, dtype=np.int64), side="right").astype(
+            np.int64
+        )
+
+
+class FrequencyPartitioner(Partitioner):
+    """Frequency-aware clustering: hot vertices pull their neighborhoods.
+
+    Hot = vertices the random walks sampled (estimate > 0) — the same set
+    the frequency cache policy will select, i.e. exactly the lists whose
+    placement decides how much traffic crosses the interconnect.  A read of
+    hot list ``v`` is issued by the shard owning the root endpoint, and
+    roots land on arbitrary vertices of ``v``'s neighborhood — so moving
+    only ``v`` barely helps (the readers stay scattered).  Instead, each hot
+    vertex (hottest first) pulls itself *and its still-unclaimed neighbors*
+    onto one shard, chosen by current plurality among the group.  Roots
+    rooted anywhere in that neighborhood then read ``v`` locally.
+
+    A degree-mass load cap (``balance_slack`` over the perfect share) stops
+    the hottest hubs from collapsing the graph onto one shard, which would
+    trade PEER traffic for a straggler.  Cold vertices keep their hash home;
+    with no estimates available (degree policy, cold start) the result is
+    plain hash.
+    """
+
+    name = "freq"
+    requires_frequencies = True
+
+    def __init__(self, balance_slack: float = 0.25) -> None:
+        self.balance_slack = balance_slack
+
+    def assign(self, graph, frequencies, num_devices, counters=None):
+        n = graph.num_vertices
+        owners = _hash_owners(n, num_devices)
+        if counters is not None:
+            counters.record_compute(n)
+        if frequencies is None or num_devices == 1:
+            return owners
+        hot = np.nonzero(frequencies[:n] > 0)[0]
+        if hot.size == 0:
+            return owners
+        order = np.argsort(-frequencies[hot], kind="stable")
+        hot = hot[order]
+
+        degrees = graph.degrees_new().astype(np.int64)
+        load = np.bincount(owners, weights=degrees, minlength=num_devices)
+        cap = (1.0 + self.balance_slack) * degrees.sum() / num_devices
+        claimed = np.zeros(n, dtype=bool)
+        ops = n
+        for v in hot.tolist():
+            if claimed[v]:
+                continue
+            nbrs = graph.neighbors_new(v)
+            ops += nbrs.size + 1
+            group = nbrs[~claimed[nbrs]]
+            group = np.append(group, v)
+            votes = np.bincount(owners[group], weights=degrees[group] + 1,
+                                minlength=num_devices)
+            target = int(np.argmax(votes))
+            movers = group[owners[group] != target]
+            moved_mass = int(degrees[movers].sum())
+            if load[target] + moved_mass > cap:
+                claimed[v] = True
+                continue
+            np.subtract.at(load, owners[movers], degrees[movers])
+            load[target] += moved_mass
+            owners[group] = target
+            claimed[group] = True
+        if counters is not None:
+            counters.record_compute(ops)
+        return owners
+
+
+PARTITIONER_NAMES = ("hash", "range", "freq")
+
+
+def make_partitioner(partitioner: str | Partitioner) -> Partitioner:
+    """Resolve a partitioner name ('hash' | 'range' | 'freq')."""
+    if isinstance(partitioner, Partitioner):
+        return partitioner
+    if partitioner == "hash":
+        return HashPartitioner()
+    if partitioner == "range":
+        return RangePartitioner()
+    if partitioner in ("freq", "frequency"):
+        return FrequencyPartitioner()
+    raise ValueError(
+        f"unknown partitioner {partitioner!r}; choose from {PARTITIONER_NAMES}"
+    )

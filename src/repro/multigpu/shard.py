@@ -1,0 +1,132 @@
+"""Per-device shard state and the sharded kernel data path.
+
+Each :class:`Shard` is one simulated GPU: it owns its own
+:class:`~repro.gpu.device.DeviceConfig`, its slice of the DCSR cache (built
+from the hot vertices *it owns*, within its own device-buffer budget), its
+own :class:`~repro.gpu.counters.AccessCounters`, and its own DMA engine
+(every card sits on its own host link, so per-shard uploads overlap).
+
+:class:`ShardedDeviceView` extends GCSM's cached view with the multi-GPU
+read path.  For a vertex the shard owns it is byte-for-byte the single-GPU
+view (probe own rowidx; hit → GPU global, miss → host zero-copy).  For a
+remote-owned vertex the kernel probes the owner's (replicated, tiny) rowidx
+directory: a remote *hit* is served over the peer interconnect
+(:data:`~repro.gpu.counters.Channel.PEER`), a remote *miss* falls back to
+host zero-copy — the host graph is pinned and visible to every device, so
+an uncached list never takes two hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import CachedDeviceView, select_within_budget
+from repro.core.dcsr import DcsrCache
+from repro.core.engine import pack_step
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.gpu.counters import AccessCounters, Channel
+from repro.gpu.device import DeviceConfig
+from repro.query.plan import EdgeVersion
+
+__all__ = ["Shard", "ShardedDeviceView"]
+
+
+@dataclass
+class Shard:
+    """State of one simulated device in the fleet."""
+
+    shard_id: int
+    device: DeviceConfig
+    cache_budget_bytes: int
+    cache: DcsrCache | None = None
+    selected: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    pack_ns: float = 0.0
+
+    def select_and_pack(
+        self,
+        graph: DynamicGraph,
+        ranked: np.ndarray,
+        owner: np.ndarray | None,
+    ) -> None:
+        """Step 3 for this shard: keep the owned prefix of the global rank,
+        fit it to this device's budget, pack, and DMA (own link).
+
+        With ``owner is None`` (single device) the selection is exactly the
+        single-GPU engine's ``policy.select`` — same rank array, same greedy
+        budget prefix — which is what the N=1 equivalence invariant rests on.
+        """
+        if owner is not None:
+            ranked = ranked[owner[ranked] == self.shard_id]
+        self.selected = select_within_budget(graph, ranked, self.cache_budget_bytes)
+        self.cache, self.pack_ns = pack_step(graph, self.selected, self.device)
+
+
+class ShardedDeviceView(CachedDeviceView):
+    """GCSM's cached view plus the remote-read path of a sharded fleet.
+
+    ``owner is None`` short-circuits every branch below and behaves exactly
+    like :class:`~repro.core.cache.CachedDeviceView` — the N=1 case.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        device: DeviceConfig,
+        counters: AccessCounters,
+        cache: DcsrCache,
+        *,
+        shard_id: int = 0,
+        owner: np.ndarray | None = None,
+        peer_caches: list[DcsrCache] | None = None,
+    ) -> None:
+        super().__init__(graph, device, counters, cache)
+        self.shard_id = shard_id
+        self.owner = owner
+        self.peer_caches = peer_caches or []
+        self.remote_hits = 0
+        self.remote_misses = 0
+
+    def fetch(self, v: int, version: EdgeVersion) -> tuple[np.ndarray, ...]:
+        if self.owner is None or int(self.owner[v]) == self.shard_id:
+            return super().fetch(v, version)
+        return self._fetch_remote(v, int(self.owner[v]), version)
+
+    def _fetch_remote(
+        self, v: int, owner_shard: int, version: EdgeVersion
+    ) -> tuple[np.ndarray, ...]:
+        remote = self.peer_caches[owner_shard]
+        # the kernel probes the replicated remote rowidx directory the same
+        # way it probes its own (Sec. V-C's binary search, remote copy)
+        self.counters.record_compute(remote.probe_cost_ops())
+        row = remote.lookup(v)
+        if row >= 0:
+            self.remote_hits += 1
+            if version is EdgeVersion.OLD:
+                runs: tuple[np.ndarray, ...] = (remote.neighbors_old(row),)
+            else:
+                base, delta = remote.neighbors_new_parts(row)
+                runs = (base, delta) if delta.size else (base,)
+            nbytes = self._nbytes(runs)
+            lines = self.device.peer_lines(nbytes)
+            self.counters.record_access(Channel.PEER, v, nbytes, transactions=lines)
+            return runs
+        # remote miss: the list lives only in pinned host memory, which every
+        # device reads directly — one zero-copy hop, never peer + host
+        self.remote_misses += 1
+        runs = self._runs(v, version)
+        nbytes = self._nbytes(runs)
+        lines = self.device.zero_copy_lines(nbytes)
+        self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)
+        return runs
+
+    @property
+    def total_hits(self) -> int:
+        """Reads served from *some* device's cache (local or peer)."""
+        return self.hits + self.remote_hits
+
+    @property
+    def total_misses(self) -> int:
+        """Reads that fell through to host memory."""
+        return self.misses + self.remote_misses

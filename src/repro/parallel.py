@@ -38,7 +38,7 @@ def default_workers() -> int:
 
 def parallel_map(
     fn: Callable[[T], R],
-    items: Sequence[T],
+    items: Iterable[T],
     *,
     workers: int | None = None,
     ordered: bool = True,
@@ -46,12 +46,17 @@ def parallel_map(
     """Apply ``fn`` to ``items`` on a thread pool, preserving order.
 
     Falls back to a plain loop for one worker or one item — keeping
-    stack traces simple where parallelism buys nothing.
+    stack traces simple where parallelism buys nothing.  The pool is never
+    wider than the item count.  Accepts any iterable (generators are
+    materialized once up front).
     """
     n = workers if workers is not None else default_workers()
     require(n >= 1, "workers must be >= 1")
+    if not isinstance(items, Sequence):
+        items = list(items)
     if n == 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    n = min(n, len(items))
     with ThreadPoolExecutor(max_workers=n) as pool:
         if ordered:
             return list(pool.map(fn, items))
@@ -77,6 +82,7 @@ def parallel_root_partition(
     """Partition a root-edge list across workers (the paper's outer-loop
     parallelization).  Returns per-worker ``(roots, signs)`` slices covering
     the input exactly once."""
+    require(workers >= 1, "workers must be >= 1")
     require(roots.shape[0] == signs.shape[0], "roots/signs length mismatch")
     if roots.shape[0] == 0:
         return []

@@ -46,6 +46,20 @@ class TestParallelMap:
         out = parallel_map(lambda x: x + 1, list(range(10)), workers=3, ordered=False)
         assert sorted(out) == list(range(1, 11))
 
+    def test_workers_exceeding_items(self):
+        out = parallel_map(lambda x: x * 2, [1, 2, 3], workers=16)
+        assert out == [2, 4, 6]
+
+    def test_single_item_many_workers(self):
+        assert parallel_map(lambda x: -x, [5], workers=8) == [-5]
+
+    def test_generator_input(self):
+        out = parallel_map(lambda x: x + 1, (x for x in range(6)), workers=3)
+        assert out == list(range(1, 7))
+
+    def test_empty_generator(self):
+        assert parallel_map(lambda x: x, (x for x in ()), workers=3) == []
+
 
 class TestChunked:
     def test_balanced_partition(self):
@@ -60,6 +74,13 @@ class TestChunked:
 
     def test_empty(self):
         assert chunked([], 4) == []
+
+    def test_single_element(self):
+        assert [list(c) for c in chunked([7], 4)] == [[7]]
+
+    def test_numpy_array_items(self):
+        chunks = chunked(np.arange(10), 3)
+        assert np.array_equal(np.concatenate(chunks), np.arange(10))
 
     def test_rejects_zero(self):
         with pytest.raises(ValueError):
@@ -78,6 +99,22 @@ class TestRootPartition:
 
     def test_empty(self):
         assert parallel_root_partition(np.empty((0, 2)), np.empty(0), 4) == []
+
+    def test_one_root_many_workers(self):
+        parts = parallel_root_partition(np.array([[1, 2]]), np.array([1]), 8)
+        assert len(parts) == 1
+        assert np.array_equal(parts[0][0], np.array([[1, 2]]))
+
+    def test_workers_exceeding_roots(self):
+        roots = np.arange(6).reshape(3, 2)
+        signs = np.array([1, -1, 1])
+        parts = parallel_root_partition(roots, signs, 10)
+        assert len(parts) == 3  # never more parts than roots
+        assert np.array_equal(np.concatenate([p[0] for p in parts]), roots)
+
+    def test_rejects_zero_workers_even_when_empty(self):
+        with pytest.raises(ValueError):
+            parallel_root_partition(np.empty((0, 2)), np.empty(0), 0)
 
     def test_mismatch_rejected(self):
         with pytest.raises(ValueError):
