@@ -24,6 +24,7 @@ from typing import Sequence
 from repro.bench import figures
 from repro.bench.harness import build_workload, print_table, run_stream
 from repro.core.baselines import SYSTEM_NAMES
+from repro.core.matching import DEFAULT_EXECUTOR, EXECUTORS
 from repro.core.results import ExperimentRecord, save_records, summarize
 from repro.gpu.device import INTERCONNECTS, ClusterConfig
 from repro.graphs import datasets
@@ -83,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="host thread-pool width for per-shard work "
                             "(default: repro.parallel.default_workers() — "
                             "min(cpu_count, 8)); simulated time is unaffected")
+    run_p.add_argument("--executor", default=DEFAULT_EXECUTOR, choices=EXECUTORS,
+                       help="matching executor: the batched frontier kernel "
+                            "(default) or the recursive reference; both are "
+                            "counter-identical, only wall-clock differs")
     run_p.add_argument("--json", metavar="PATH", default=None,
                        help="export the record as JSON")
 
@@ -140,6 +145,8 @@ def _cmd_list_queries() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     extra: dict = {}
+    if args.executor != DEFAULT_EXECUTOR:
+        extra["executor"] = args.executor
     if args.devices is not None:
         if args.system != "GCSM":
             print(f"--devices only applies to GCSM, not {args.system}",

@@ -14,7 +14,14 @@
 * :mod:`repro.core.reference` — brute-force oracle for correctness tests.
 """
 
-from repro.core.matching import MatchStats, match_batch, match_static
+from repro.core.matching import (
+    DEFAULT_EXECUTOR,
+    EXECUTORS,
+    MatchStats,
+    match_batch,
+    match_static,
+)
+from repro.core.frontier import FrontierExecutor
 from repro.core.frequency import FrequencyEstimator, EstimationResult, required_walks
 from repro.core.dcsr import DcsrCache
 from repro.core.cache import CachePolicy, FrequencyCachePolicy, DegreeCachePolicy, CachedDeviceView
@@ -25,6 +32,9 @@ __all__ = [
     "MatchStats",
     "match_batch",
     "match_static",
+    "EXECUTORS",
+    "DEFAULT_EXECUTOR",
+    "FrontierExecutor",
     "FrequencyEstimator",
     "EstimationResult",
     "required_walks",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.engine import BatchResult, GCSMEngine, reorganize_step, update_step
-from repro.core.matching import match_batch
+from repro.core.matching import DEFAULT_EXECUTOR, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import UpdateBatch
@@ -74,11 +74,13 @@ class SimpleViewSystem:
         query: QueryGraph,
         *,
         device: DeviceConfig | None = None,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
         self.query = query
         self.plans = compile_delta_plans(query)
+        self.executor = executor
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -94,7 +96,7 @@ class SimpleViewSystem:
 
         match_counters = AccessCounters()
         view = self._make_view(match_counters)
-        stats = match_batch(self.plans, batch, view)
+        stats = match_batch(self.plans, batch, view, executor=self.executor)
         breakdown.match_ns = simulated_time_ns(
             match_counters, self.device, platform=view.platform
         )
@@ -165,6 +167,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
         device: DeviceConfig | None = None,
         cache_budget_bytes: int = NAIVE_CACHE_BUDGET_BYTES,
         seed=0,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> None:
         super().__init__(
             initial_graph,
@@ -173,6 +176,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
             policy="degree",
             cache_budget_bytes=cache_budget_bytes,
             seed=seed,
+            executor=executor,
         )
 
 
@@ -201,6 +205,7 @@ class VsgmSystem:
         *,
         device: DeviceConfig | None = None,
         strict_capacity: bool = True,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
@@ -208,6 +213,7 @@ class VsgmSystem:
         self.plans = compile_delta_plans(query)
         self.hops = query.diameter()
         self.strict_capacity = strict_capacity
+        self.executor = executor
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -257,7 +263,7 @@ class VsgmSystem:
 
         match_counters = AccessCounters()
         view = FullDeviceView(graph, self.device, match_counters, resident)
-        stats = match_batch(self.plans, batch, view)
+        stats = match_batch(self.plans, batch, view, executor=self.executor)
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
 
         breakdown.reorg_ns = reorganize_step(graph, self.device)
@@ -314,15 +320,17 @@ def make_system(
             )
         return GCSMEngine(initial_graph, query, device=device, seed=seed, **kwargs)
     if name == "ZC":
-        return ZeroCopySystem(initial_graph, query, device=device)
+        return ZeroCopySystem(initial_graph, query, device=device, **kwargs)
     if name == "UM":
-        return UnifiedMemorySystem(initial_graph, query, device=device)
+        return UnifiedMemorySystem(initial_graph, query, device=device, **kwargs)
     if name == "Naive":
-        return NaiveDegreeCacheSystem(initial_graph, query, device=device, seed=seed)
+        return NaiveDegreeCacheSystem(
+            initial_graph, query, device=device, seed=seed, **kwargs
+        )
     if name == "VSGM":
         return VsgmSystem(initial_graph, query, device=device, **kwargs)
     if name == "CPU":
-        return CpuLoopSystem(initial_graph, query, device=device)
+        return CpuLoopSystem(initial_graph, query, device=device, **kwargs)
     if name == "RapidFlow":
         from repro.core.rapidflow import RapidFlowSystem
 

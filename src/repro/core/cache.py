@@ -175,6 +175,28 @@ class CachedDeviceView(GraphView):
         self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)
         return runs
 
+    def fetch_block(self, vertices: np.ndarray, version: EdgeVersion) -> None:
+        """Vectorized per-access recording: one rowidx probe per access, hits
+        charged to GPU global memory, misses to zero-copy lines — the exact
+        counter state of per-access :meth:`fetch` calls."""
+        if vertices.size == 0:
+            return
+        self.counters.record_compute(self._probe_ops * int(vertices.size))
+        hit = self.cache.lookup_block(vertices)
+        self.hits += int(np.count_nonzero(hit))
+        self.misses += int(vertices.size - np.count_nonzero(hit))
+        nbytes = self._block_nbytes(vertices, version)
+        self.counters.record_access_block(
+            Channel.GPU_GLOBAL, vertices[hit], nbytes[hit]
+        )
+        miss = ~hit
+        if miss.any():
+            miss_bytes = nbytes[miss]
+            lines = -(-miss_bytes // self.device.zero_copy_line_bytes)
+            self.counters.record_access_block(
+                Channel.ZERO_COPY, vertices[miss], miss_bytes, transactions=lines
+            )
+
     def _record(self, v: int, nbytes: int) -> None:  # pragma: no cover
         raise AssertionError("CachedDeviceView overrides fetch() directly")
 

@@ -105,6 +105,18 @@ class DcsrCache:
             return pos
         return -1
 
+    def lookup_block(self, vertices: np.ndarray) -> np.ndarray:
+        """Vectorized hit test: boolean per vertex, True where cached.
+
+        One ``searchsorted`` replaces per-access :meth:`lookup` calls; the
+        probe *cost* is still charged per access by the caller.
+        """
+        pos = np.searchsorted(self.rowidx, vertices)
+        hit = np.zeros(vertices.size, dtype=bool)
+        ok = pos < self.rowidx.shape[0]
+        hit[ok] = self.rowidx[pos[ok]] == vertices[ok]
+        return hit
+
     def probe_cost_ops(self) -> int:
         """Comparison count of one rowidx binary search."""
         k = self.num_cached

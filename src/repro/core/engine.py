@@ -34,7 +34,7 @@ from repro.core.cache import (
 )
 from repro.core.dcsr import DcsrCache
 from repro.core.frequency import EstimationResult, FrequencyEstimator
-from repro.core.matching import MatchStats, match_batch
+from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import UpdateBatch
@@ -189,6 +189,7 @@ class GCSMEngine:
         cache_budget_bytes: int | None = None,
         survival: float | None = 1.0,
         seed: int | np.random.Generator | None = 0,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> None:
         self.device = device or default_device()
         self.cache_budget_bytes = (
@@ -206,6 +207,7 @@ class GCSMEngine:
             self.graph, self.device, seed=spawn_generator(rng), survival=survival
         )
         self.policy: CachePolicy = make_policy(policy)
+        self.executor = executor
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -242,7 +244,7 @@ class GCSMEngine:
         # -- step 4: incremental matching on the GPU -----------------------
         match_counters = AccessCounters()
         view = CachedDeviceView(graph, self.device, match_counters, cache)
-        stats = match_batch(self.plans, batch, view)
+        stats = match_batch(self.plans, batch, view, executor=self.executor)
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
 
         # -- step 5: reorganize CPU lists ----------------------------------
@@ -282,7 +284,9 @@ class GCSMEngine:
 
         counters = AccessCounters()
         view = ZeroCopyView(self.graph, self.device, counters)
-        stats = match_static(compile_static_plan(self.query), view)
+        stats = match_static(
+            compile_static_plan(self.query), view, executor=self.executor
+        )
         return stats.signed_count, simulated_time_ns(counters, self.device, platform="gpu")
 
     def snapshot(self) -> StaticGraph:

@@ -1,0 +1,301 @@
+"""Frontier-based batched WCOJ executor (the warp-centric kernel analog).
+
+The recursive executor in :mod:`repro.core.matching` expands one root at a
+time, descending per candidate in Python — faithful, but the per-node
+interpreter overhead dominates wall-clock.  Real GPU matchers (GSI's
+Prealloc-Combine joins, Gunrock's subgraph-matching advance/filter
+operators) instead run *level-synchronous*: every partial embedding of one
+depth is a row of a frontier, and one kernel launch extends the whole
+frontier by one query vertex.  This module is that execution shape in
+NumPy:
+
+* The frontier is an ``(n, depth)`` array of bound data vertices plus a
+  sign vector; extending a level gathers the constraint lists for **all**
+  rows, intersects them with vectorized sorted-set kernels (a segmented
+  binary search replaces per-node ``np.intersect1d``), applies
+  label/injectivity filters as flat masks, and emits the next frontier with
+  ``np.repeat`` — no Python recursion.
+* **Counter parity is exact.**  Every neighbor-list access is charged
+  through :meth:`~repro.gpu.views.GraphView.fetch_block` (the batched
+  equivalent of per-access ``fetch``), every ``record_compute`` /
+  ``record_output`` charge of the recursive executor is reproduced as a
+  vectorized sum over rows, and per-row constraint ordering replicates the
+  smallest-list-first heuristic with a stable argsort.  ``MatchStats``,
+  per-channel byte/transaction counters, and the per-vertex access
+  histogram are bit-identical to the recursive executor, so every
+  simulated time in the reproduction is unchanged.
+* Embeddings reach the sink in the **same order** as the recursive
+  executor: the frontier preserves lexicographic (root, candidate…) order,
+  which is exactly depth-first emission order.
+
+The one modeled divergence is access *order*: the frontier issues all of a
+level's reads before the next level's, while recursion interleaves levels
+per root.  Only the (stateful, LRU) unified-memory pager can observe this,
+and only under eviction pressure — see ``docs/kernel.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching import MatchStats, _merge_runs
+from repro.gpu.views import GraphView
+from repro.query.pattern import WILDCARD_LABEL
+from repro.query.plan import EdgeVersion, MatchPlan
+
+__all__ = ["FrontierExecutor", "segmented_contains"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def segmented_contains(
+    flat: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    queries: np.ndarray,
+) -> np.ndarray:
+    """Vectorized membership of each query in its own sorted segment.
+
+    ``queries[i]`` is looked up in ``flat[starts[i] : starts[i]+lengths[i]]``
+    (each segment sorted ascending) with a *simultaneous* binary search: all
+    lanes halve their ``[lo, hi)`` range per iteration, so the whole batch
+    costs ``O(len(queries) · log(max segment))`` NumPy ops — the batched
+    analog of one GPU thread per (candidate, list) probe.
+    """
+    out = np.zeros(queries.size, dtype=bool)
+    if queries.size == 0 or flat.size == 0:
+        return out
+    lo = starts.astype(np.int64, copy=True)
+    hi = lo + lengths
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        vals = flat[np.where(active, mid, 0)]
+        go_right = active & (vals < queries)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    # lo is now the lower bound; a hit iff it is in range and matches
+    in_range = lo < starts + lengths
+    idx = np.where(in_range, lo, 0)
+    out = in_range & (flat[idx] == queries)
+    return out
+
+
+class FrontierExecutor:
+    """Level-synchronous execution of one plan over all of its roots.
+
+    Drop-in peer of the recursive ``_PlanExecutor``: same constructor
+    signature, same view/counters contract, bit-identical stats.
+    """
+
+    def __init__(
+        self,
+        plan: MatchPlan,
+        view: GraphView,
+        labels: np.ndarray,
+        sink,
+        filters: dict[int, np.ndarray] | None = None,
+        pool: dict[tuple[int, bool], np.ndarray] | None = None,
+    ) -> None:
+        self.plan = plan
+        self.view = view
+        self.labels = labels
+        self.sink = sink
+        self.filters = filters or {}
+        self.stats = MatchStats()
+        # merged-array memo: one merged object per (vertex, version family).
+        # ``pool`` may be shared across the plans of one batch — the graph is
+        # frozen between apply_batch and reorganize, so merged contents are
+        # plan-independent; the memo only skips Python-side merge work, every
+        # *access* is still charged per plan through fetch_block.
+        self._pool: dict[tuple[int, bool], np.ndarray] = (
+            pool if pool is not None else {}
+        )
+
+    # ------------------------------------------------------------------
+    def _gather(
+        self, verts: np.ndarray, version: EdgeVersion
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Materialize the merged lists of ``verts`` as one flat buffer.
+
+        Returns per-vertex ``(starts, lengths)`` into the concatenated
+        ``flat``; each distinct vertex's list is stored (and merged) once.
+        """
+        uniq, inv = np.unique(verts, return_inverse=True)
+        pool = self._pool
+        old = version is EdgeVersion.OLD
+        peek = self.view.peek_runs
+        arrays = []
+        for v in uniq.tolist():
+            arr = pool.get((v, old))
+            if arr is None:
+                arr = _merge_runs(peek(v, version))
+                pool[(v, old)] = arr
+            arrays.append(arr)
+        lens_u = np.fromiter((a.size for a in arrays), count=len(arrays), dtype=np.int64)
+        starts_u = np.zeros(lens_u.size, dtype=np.int64)
+        np.cumsum(lens_u[:-1], out=starts_u[1:])
+        flat = np.concatenate(arrays) if arrays else _EMPTY
+        return starts_u[inv], lens_u[inv], flat
+
+    # ------------------------------------------------------------------
+    def _level_candidates(
+        self, level_index: int, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidates for one level across the whole frontier.
+
+        Returns ``(cand_flat, cand_cnt)``: row ``r``'s candidate set is the
+        sorted slice of ``cand_flat`` after ``cand_cnt[:r]`` elements.
+        Reproduces the recursive ``_candidates`` charges row by row:
+        smallest-list-first constraint order, first-list materialization,
+        per-intersection ``len(a)+len(b)`` ops, filter/label/injectivity
+        masks, and the final per-candidate charge for surviving rows.
+        """
+        lvl = self.plan.levels[level_index]
+        cons = lvl.constraints
+        view = self.view
+        counters = view.counters
+        n = rows.shape[0]
+        k = len(cons)
+
+        # per-row stable constraint order by versioned degree bound
+        if k == 1:
+            order = np.zeros((n, 1), dtype=np.int64)
+        else:
+            keys = np.empty((n, k), dtype=np.int64)
+            for j, c in enumerate(cons):
+                keys[:, j] = view.degree_bounds_block(rows[:, c.position], c.version)
+            order = np.argsort(keys, axis=1, kind="stable")
+
+        cand_flat = _EMPTY
+        cand_cnt = np.zeros(n, dtype=np.int64)
+        for s in range(k):
+            cidx = order[:, s]
+            active = np.ones(n, dtype=bool) if s == 0 else cand_cnt > 0
+            # group rows by which constraint fills this slot; fetch (and
+            # charge) each group's lists, assemble one flat segment buffer
+            starts = np.zeros(n, dtype=np.int64)
+            lens = np.zeros(n, dtype=np.int64)
+            flats: list[np.ndarray] = []
+            offset = 0
+            for j, c in enumerate(cons):
+                sel = active & (cidx == j)
+                if not sel.any():
+                    continue
+                verts = rows[sel, c.position]
+                view.fetch_block(verts, c.version)  # records every access
+                g_starts, g_lens, g_flat = self._gather(verts, c.version)
+                starts[sel] = g_starts + offset
+                lens[sel] = g_lens
+                flats.append(g_flat)
+                offset += int(g_flat.size)
+            flat = np.concatenate(flats) if flats else _EMPTY
+            if s == 0:
+                # first constraint: the list *is* the candidate set
+                counters.record_compute(int(lens.sum()))
+                cand_cnt = lens.copy()
+                total = int(lens.sum())
+                row_off = np.zeros(n, dtype=np.int64)
+                np.cumsum(lens[:-1], out=row_off[1:])
+                idx = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(row_off, lens)
+                    + np.repeat(starts, lens)
+                )
+                cand_flat = flat[idx]
+            else:
+                # merge-intersection charge: len(cand) + len(other), active rows
+                counters.record_compute(int(cand_cnt.sum() + lens.sum()))
+                qstart = np.repeat(starts, cand_cnt)
+                qlen = np.repeat(lens, cand_cnt)
+                found = segmented_contains(flat, qstart, qlen, cand_flat)
+                qrow = np.repeat(np.arange(n, dtype=np.int64), cand_cnt)
+                cand_flat = cand_flat[found]
+                cand_cnt = np.bincount(qrow[found], minlength=n)
+
+        # rows that survived every intersection reach the filtering stage
+        # (zero-size rows contribute zero to every charge below, exactly
+        # like the recursive early return)
+        qv_filter = self.filters.get(lvl.query_vertex)
+        if qv_filter is not None:
+            counters.record_compute(int(cand_cnt.sum()))
+            pos = np.searchsorted(qv_filter, cand_flat)
+            ok = pos < qv_filter.size
+            keep = np.zeros(cand_flat.size, dtype=bool)
+            keep[ok] = qv_filter[pos[ok]] == cand_flat[ok]
+        elif lvl.label != WILDCARD_LABEL:
+            keep = self.labels[cand_flat] == lvl.label
+        else:
+            keep = np.ones(cand_flat.size, dtype=bool)
+        # injectivity: a candidate must differ from every bound vertex of
+        # its own row (sequential removal in the recursive executor — the
+        # same set either way)
+        qrow = np.repeat(np.arange(n, dtype=np.int64), cand_cnt)
+        keep &= (cand_flat[:, None] != rows[qrow]).all(axis=1)
+        cand_flat = cand_flat[keep]
+        cand_cnt = np.bincount(qrow[keep], minlength=n)
+        counters.record_compute(int(cand_cnt.sum()))
+        return cand_flat, cand_cnt
+
+    # ------------------------------------------------------------------
+    def _inverse_order(self) -> np.ndarray:
+        order = self.plan.order
+        inverse = np.empty(len(order), dtype=np.int64)
+        for pos, u in enumerate(order):
+            inverse[u] = pos
+        return inverse
+
+    def run(self, roots: np.ndarray, signs: np.ndarray) -> MatchStats:
+        """Execute the plan over all ``(n, 2)`` roots with their signs."""
+        stats = self.stats
+        counters = self.view.counters
+        n = int(roots.shape[0])
+        stats.roots_processed += n
+        stats.tree_nodes += n
+        if n == 0:
+            return stats
+        depth = self.plan.depth
+        signs = signs.astype(np.int64, copy=False)
+        if depth == 2:
+            stats.signed_count += int(signs.sum())
+            stats.embeddings_found += n
+            counters.record_output(n)
+            counters.record_compute(n * depth)
+            if self.sink is not None:
+                emb = roots[:, self._inverse_order()]
+                for e, s in zip(emb.tolist(), signs.tolist()):
+                    self.sink(tuple(e), s)
+            return stats
+
+        rows = roots.astype(np.int64, copy=False)
+        sign = signs
+        last_index = len(self.plan.levels) - 1
+        for li in range(len(self.plan.levels)):
+            cand_flat, cand_cnt = self._level_candidates(li, rows)
+            total = int(cand_cnt.sum())
+            if li == last_index:
+                stats.signed_count += int((sign * cand_cnt).sum())
+                stats.embeddings_found += total
+                stats.tree_nodes += total
+                counters.record_output(total)
+                counters.record_compute(total * depth)
+                if self.sink is not None and total:
+                    full = np.concatenate(
+                        [np.repeat(rows, cand_cnt, axis=0), cand_flat[:, None]],
+                        axis=1,
+                    )[:, self._inverse_order()]
+                    for e, s in zip(
+                        full.tolist(), np.repeat(sign, cand_cnt).tolist()
+                    ):
+                        self.sink(tuple(e), s)
+            else:
+                stats.tree_nodes += total
+                if total == 0:
+                    break
+                rows = np.concatenate(
+                    [np.repeat(rows, cand_cnt, axis=0), cand_flat[:, None]], axis=1
+                )
+                sign = np.repeat(sign, cand_cnt)
+        return stats

@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.cache import CachedDeviceView, FrequencyCachePolicy
 from repro.core.dcsr import DcsrCache
 from repro.core.frequency import EstimationResult, FrequencyEstimator, default_num_walks
-from repro.core.matching import MatchStats, match_batch
+from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import UpdateBatch
@@ -80,6 +80,7 @@ class MultiQueryEngine:
         survival: float | None = 1.0,
         cache_budget_bytes: int | None = None,
         seed: int | np.random.Generator | None = 0,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> None:
         require(len(queries) >= 1, "need at least one query")
         names = [q.name for q in queries]
@@ -99,6 +100,7 @@ class MultiQueryEngine:
             self.graph, self.device, seed=spawn_generator(rng), survival=survival
         )
         self.policy = FrequencyCachePolicy()
+        self.executor = executor
         self.batches_processed = 0
 
     # ------------------------------------------------------------------
@@ -164,7 +166,9 @@ class MultiQueryEngine:
         delta_counts: dict[str, int] = {}
         match_stats: dict[str, MatchStats] = {}
         for query in self.queries:
-            stats = match_batch(self.plans[query.name], batch, view)
+            stats = match_batch(
+                self.plans[query.name], batch, view, executor=self.executor
+            )
             delta_counts[query.name] = stats.signed_count
             match_stats[query.name] = stats
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")

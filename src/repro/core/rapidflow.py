@@ -28,7 +28,7 @@ import math
 import numpy as np
 
 from repro.core.engine import BatchResult
-from repro.core.matching import match_batch
+from repro.core.matching import DEFAULT_EXECUTOR, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import UpdateBatch
@@ -81,10 +81,12 @@ class RapidFlowSystem:
         *,
         device: DeviceConfig | None = None,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
         self.query = query
+        self.executor = executor
         self.memory_budget_bytes = memory_budget_bytes
         self.candidates = self._build_candidates()
         self.index_bytes = candidate_index_bytes(self.graph, query, self.candidates)
@@ -217,7 +219,9 @@ class RapidFlowSystem:
 
         match_counters = AccessCounters()
         view = HostCPUView(graph, self.device, match_counters)
-        stats = match_batch(self.plans, batch, view, filters=self.candidates)
+        stats = match_batch(
+            self.plans, batch, view, filters=self.candidates, executor=self.executor
+        )
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="cpu")
 
         reorg = graph.reorganize()

@@ -73,6 +73,39 @@ class AccessCounters:
         self._vertex_counts[vertex] += 1
         self._vertex_bytes[vertex] += nbytes
 
+    def record_access_block(
+        self,
+        channel: Channel,
+        vertices: np.ndarray,
+        nbytes: np.ndarray,
+        transactions: np.ndarray | None = None,
+    ) -> None:
+        """Vectorized :meth:`record_access` for one access per array element.
+
+        Produces exactly the counter state that calling :meth:`record_access`
+        once per element would — bytes/transactions are summed, the per-vertex
+        histogram is bumped with an unbuffered scatter-add — but in O(1)
+        NumPy calls.  ``transactions=None`` charges one transaction per
+        access, matching the scalar default.
+        """
+        if vertices.size == 0:
+            return
+        self.bytes_by_channel[channel] += int(nbytes.sum())
+        self.transactions_by_channel[channel] += (
+            int(transactions.sum()) if transactions is not None else int(vertices.size)
+        )
+        top = int(vertices.max())
+        if top >= self._vertex_counts.shape[0]:
+            size = max(top + 1, 2 * self._vertex_counts.shape[0])
+            grown = np.zeros(size, dtype=np.int64)
+            grown[: self._vertex_counts.shape[0]] = self._vertex_counts
+            self._vertex_counts = grown
+            grown_b = np.zeros(size, dtype=np.int64)
+            grown_b[: self._vertex_bytes.shape[0]] = self._vertex_bytes
+            self._vertex_bytes = grown_b
+        np.add.at(self._vertex_counts, vertices, 1)
+        np.add.at(self._vertex_bytes, vertices, nbytes)
+
     def record_um_fault(self, pages: int) -> None:
         self.um_faults += pages
 
@@ -111,6 +144,15 @@ class AccessCounters:
         out = np.zeros(num_vertices, dtype=np.int64)
         k = min(num_vertices, self._vertex_counts.shape[0])
         out[:k] = self._vertex_counts[:k]
+        return out
+
+    def vertex_access_bytes(self, num_vertices: int | None = None) -> np.ndarray:
+        """Per-vertex byte histogram, optionally padded/truncated to n."""
+        if num_vertices is None:
+            return self._vertex_bytes.copy()
+        out = np.zeros(num_vertices, dtype=np.int64)
+        k = min(num_vertices, self._vertex_bytes.shape[0])
+        out[:k] = self._vertex_bytes[:k]
         return out
 
     def top_fraction_share(self, fraction: float, *, weight: str = "count") -> float:

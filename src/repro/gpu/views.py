@@ -81,12 +81,61 @@ class GraphView(ABC):
         self._record(v, self._nbytes(runs))
         return runs
 
+    def peek_runs(self, v: int, version: EdgeVersion) -> tuple[np.ndarray, ...]:
+        """Data-only run access for batched executors — no traffic recorded.
+
+        The frontier executor gathers list *contents* once per distinct
+        vertex through this hook while charging every individual access
+        through :meth:`fetch_block`; together the two reproduce exactly what
+        per-access :meth:`fetch` calls would record.
+        """
+        return self._runs(v, version)
+
     def degree_bound(self, v: int, version: EdgeVersion) -> int:
         """Length of the versioned list *without* charging an access (the
         kernel knows list lengths from its offset arrays)."""
         if version is EdgeVersion.OLD:
             return self.graph.degree_old(v)
         return self.graph.degree_new(v)
+
+    def degree_bounds_block(self, vertices: np.ndarray, version: EdgeVersion) -> np.ndarray:
+        """Vectorized :meth:`degree_bound` over a vertex array (uncharged)."""
+        return self._degree_table(version)[vertices]
+
+    def _degree_table(self, version: EdgeVersion) -> np.ndarray:
+        """Cached per-vertex versioned degrees.
+
+        Safe to cache per view: a view lives within one batch, during which
+        the store's adjacency is frozen (``apply_batch`` done, ``reorganize``
+        not yet).
+        """
+        if version is EdgeVersion.OLD:
+            table = getattr(self, "_deg_old", None)
+            if table is None:
+                table = self.graph.degrees_old()
+                self._deg_old = table
+            return table
+        table = getattr(self, "_deg_new", None)
+        if table is None:
+            table = self.graph.degrees_new()
+            self._deg_new = table
+        return table
+
+    def fetch_block(self, vertices: np.ndarray, version: EdgeVersion) -> None:
+        """Record one neighbor-list access per element of ``vertices``.
+
+        Counter-equivalent to calling :meth:`fetch` once per element (the
+        returned runs discarded); subclasses override with vectorized
+        recording where their channel model is order-insensitive.  The base
+        implementation simply loops, so any stateful view (e.g. the UM
+        pager) inherits exact per-access semantics.
+        """
+        for v in vertices.tolist():
+            self.fetch(int(v), version)
+
+    def _block_nbytes(self, vertices: np.ndarray, version: EdgeVersion) -> np.ndarray:
+        """Per-access byte costs for a block: versioned degree × entry size."""
+        return self.degree_bounds_block(vertices, version) * BYTES_PER_NEIGHBOR
 
     @abstractmethod
     def _record(self, v: int, nbytes: int) -> None:
@@ -101,6 +150,13 @@ class HostCPUView(GraphView):
     def _record(self, v: int, nbytes: int) -> None:
         self.counters.record_access(Channel.CPU_DRAM, v, nbytes)
 
+    def fetch_block(self, vertices: np.ndarray, version: EdgeVersion) -> None:
+        if vertices.size == 0:
+            return
+        self.counters.record_access_block(
+            Channel.CPU_DRAM, vertices, self._block_nbytes(vertices, version)
+        )
+
 
 class ZeroCopyView(GraphView):
     """The ZC baseline: all lists pinned on the host, read over PCIe."""
@@ -109,6 +165,16 @@ class ZeroCopyView(GraphView):
         lines = self.device.zero_copy_lines(nbytes)
         self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)
 
+    def fetch_block(self, vertices: np.ndarray, version: EdgeVersion) -> None:
+        if vertices.size == 0:
+            return
+        nbytes = self._block_nbytes(vertices, version)
+        # elementwise analog of device.zero_copy_lines (ceil division, 0 for 0)
+        lines = -(-nbytes // self.device.zero_copy_line_bytes)
+        self.counters.record_access_block(
+            Channel.ZERO_COPY, vertices, nbytes, transactions=lines
+        )
+
 
 class UnifiedMemoryView(GraphView):
     """The UM baseline: managed memory with demand paging.
@@ -116,6 +182,11 @@ class UnifiedMemoryView(GraphView):
     The pager persists across fetches within a batch (pages stay resident
     between kernel accesses) and is reset per batch by default, matching a
     fresh kernel launch with cold device caches.
+
+    This view keeps the base class's loop-based :meth:`fetch_block`: the LRU
+    pager is access-order sensitive, so batched recording must replay the
+    accesses one by one.  (Absent eviction pressure the fault/hit totals are
+    order-independent — see ``docs/kernel.md``.)
     """
 
     def __init__(self, graph: DynamicGraph, device: DeviceConfig,
@@ -153,6 +224,7 @@ class FullDeviceView(GraphView):
         super().__init__(graph, device, counters)
         self.resident = resident
         self.fallthrough_accesses = 0
+        self._resident_sorted: np.ndarray | None = None
 
     def _record(self, v: int, nbytes: int) -> None:
         if v in self.resident:
@@ -161,3 +233,28 @@ class FullDeviceView(GraphView):
             self.fallthrough_accesses += 1
             lines = self.device.zero_copy_lines(nbytes)
             self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)
+
+    def fetch_block(self, vertices: np.ndarray, version: EdgeVersion) -> None:
+        if vertices.size == 0:
+            return
+        if self._resident_sorted is None:
+            self._resident_sorted = np.sort(
+                np.fromiter(self.resident, dtype=np.int64, count=len(self.resident))
+            )
+        res = self._resident_sorted
+        pos = np.searchsorted(res, vertices)
+        hit = np.zeros(vertices.size, dtype=bool)
+        in_range = pos < res.size
+        hit[in_range] = res[pos[in_range]] == vertices[in_range]
+        nbytes = self._block_nbytes(vertices, version)
+        self.counters.record_access_block(
+            Channel.GPU_GLOBAL, vertices[hit], nbytes[hit]
+        )
+        miss = ~hit
+        if miss.any():  # pragma: no cover - guarded by VSGM's k-hop construction
+            self.fallthrough_accesses += int(miss.sum())
+            miss_bytes = nbytes[miss]
+            lines = -(-miss_bytes // self.device.zero_copy_line_bytes)
+            self.counters.record_access_block(
+                Channel.ZERO_COPY, vertices[miss], miss_bytes, transactions=lines
+            )

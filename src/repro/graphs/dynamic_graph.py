@@ -150,7 +150,21 @@ class DynamicGraph:
         return self._base_len[v]
 
     def degrees_new(self) -> np.ndarray:
-        return np.array([self.degree_new(v) for v in range(self.num_vertices)], dtype=np.int64)
+        """Post-batch degrees of every vertex (vectorized).
+
+        Untouched vertices carry no deletion marks or deltas, so their
+        post-batch degree is just the stored length; only the (few) lists the
+        open batch touched need a mark recount.
+        """
+        degs = np.asarray(self._total_len, dtype=np.int64)
+        for v in self._touched:
+            base = self._arrays[v][: self._base_len[v]]
+            degs[v] -= int(np.count_nonzero(base < 0))
+        return degs
+
+    def degrees_old(self) -> np.ndarray:
+        """Pre-batch degrees of every vertex (the base-run lengths)."""
+        return np.asarray(self._base_len, dtype=np.int64)
 
     def max_degree(self) -> int:
         if self.num_vertices == 0:
@@ -348,6 +362,50 @@ class DynamicGraph:
     # ------------------------------------------------------------------
     # conversions / oracles
     # ------------------------------------------------------------------
+    def csr_new(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR export of the *current* (post-batch) adjacency.
+
+        Returns ``(indptr, flat)``: ``flat[indptr[v]:indptr[v+1]]`` is the
+        sorted post-batch neighbor list of ``v``.  Untouched vertices
+        contribute zero-copy views of their stored base run, so the export
+        costs one concatenation rather than a Python loop per edge.
+        """
+        n = self.num_vertices
+        chunks = [self.neighbors_new(v) for v in range(n)]
+        lengths = np.fromiter(
+            (c.size for c in chunks), count=n, dtype=np.int64
+        ) if n else np.empty(0, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        flat = np.concatenate(chunks) if n else _EMPTY.copy()
+        return indptr, flat
+
+    def edges_new_array(self) -> np.ndarray:
+        """Undirected post-batch edge list as an ``(m, 2)`` array.
+
+        Each edge appears once with ``v < w``, enumerated source-major with
+        ascending neighbors — the exact order of a per-vertex adjacency scan.
+        """
+        indptr, flat = self.csr_new()
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), np.diff(indptr)
+        )
+        keep = src < flat
+        return np.stack([src[keep], flat[keep]], axis=1).astype(VERTEX_DTYPE, copy=False)
+
+    def edges_old_array(self) -> np.ndarray:
+        """Undirected pre-batch edge list (``v < w``), requires an open batch."""
+        require(self._batch_open, "edges_old_array requires an open batch")
+        n = self.num_vertices
+        chunks = [self.neighbors_old(v) for v in range(n)]
+        lengths = np.fromiter(
+            (c.size for c in chunks), count=n, dtype=np.int64
+        ) if n else np.empty(0, dtype=np.int64)
+        flat = np.concatenate(chunks) if n else _EMPTY.copy()
+        src = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), lengths)
+        keep = src < flat
+        return np.stack([src[keep], flat[keep]], axis=1).astype(VERTEX_DTYPE, copy=False)
+
     def snapshot(self) -> StaticGraph:
         """Materialize the *current* state as a :class:`StaticGraph`.
 
@@ -355,22 +413,15 @@ class DynamicGraph:
         :meth:`reorganize` (or before :meth:`apply_batch`) it is the settled
         snapshot.
         """
-        edges: list[tuple[int, int]] = []
-        for v in range(self.num_vertices):
-            for w in self.neighbors_new(v).tolist():
-                if v < w:
-                    edges.append((v, w))
-        return StaticGraph.from_edges(self.num_vertices, edges, self._labels.copy())
+        return StaticGraph.from_edges(
+            self.num_vertices, self.edges_new_array(), self._labels.copy()
+        )
 
     def snapshot_old(self) -> StaticGraph:
         """Materialize the pre-batch state ``G_k`` (requires an open batch)."""
-        require(self._batch_open, "snapshot_old requires an open batch")
-        edges: list[tuple[int, int]] = []
-        for v in range(self.num_vertices):
-            for w in self.neighbors_old(v).tolist():
-                if v < w:
-                    edges.append((v, w))
-        return StaticGraph.from_edges(self.num_vertices, edges, self._labels.copy())
+        return StaticGraph.from_edges(
+            self.num_vertices, self.edges_old_array(), self._labels.copy()
+        )
 
     def check_invariants(self) -> None:
         """Validate store invariants (used by property tests)."""

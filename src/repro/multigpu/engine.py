@@ -44,7 +44,7 @@ from repro.core.engine import (
     update_step,
 )
 from repro.core.frequency import EstimationResult, FrequencyEstimator
-from repro.core.matching import MatchStats, match_batch
+from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import UpdateBatch
@@ -213,6 +213,7 @@ class MultiGpuEngine:
         survival: float | None = 1.0,
         seed: int | np.random.Generator | None = 0,
         workers: int | None = None,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> None:
         if isinstance(devices, ClusterConfig):
             self.cluster = devices
@@ -238,6 +239,7 @@ class MultiGpuEngine:
             self.graph, self.device, seed=spawn_generator(rng), survival=survival
         )
         self.policy = make_policy(policy)
+        self.executor = executor
         self.partitioner = make_partitioner(partitioner)
         self.workers = workers
         self.shards = [
@@ -305,7 +307,9 @@ class MultiGpuEngine:
             if owner is not None:
                 sid = shard.shard_id
                 mask = lambda roots: owner[roots[:, 0]] == sid  # noqa: E731
-            stats = match_batch(self.plans, batch, view, root_mask=mask)
+            stats = match_batch(
+                self.plans, batch, view, root_mask=mask, executor=self.executor
+            )
             match_ns = simulated_time_ns(counters, shard.device, platform="gpu")
             return _ShardMatchOutcome(stats, counters, match_ns, view)
 

@@ -121,6 +121,43 @@ class ShardedDeviceView(CachedDeviceView):
         self.counters.record_access(Channel.ZERO_COPY, v, nbytes, transactions=lines)
         return runs
 
+    def fetch_block(self, vertices: np.ndarray, version: EdgeVersion) -> None:
+        """Vectorized recording with the sharded routing of :meth:`fetch`.
+
+        Locally-owned accesses take the single-GPU cached path; remote-owned
+        ones are grouped per owner shard, probe that shard's replicated
+        rowidx directory, and are charged to the peer interconnect (hit) or
+        host zero-copy (miss) — summing to exactly the per-access counters.
+        """
+        if self.owner is None:
+            super().fetch_block(vertices, version)
+            return
+        owners = self.owner[vertices]
+        local = owners == self.shard_id
+        super().fetch_block(vertices[local], version)
+        remote_verts = vertices[~local]
+        remote_owners = owners[~local]
+        for sid in np.unique(remote_owners).tolist():
+            verts = remote_verts[remote_owners == sid]
+            remote = self.peer_caches[int(sid)]
+            self.counters.record_compute(remote.probe_cost_ops() * int(verts.size))
+            hit = remote.lookup_block(verts)
+            self.remote_hits += int(np.count_nonzero(hit))
+            self.remote_misses += int(verts.size - np.count_nonzero(hit))
+            nbytes = self._block_nbytes(verts, version)
+            hit_bytes = nbytes[hit]
+            peer_lines = -(-hit_bytes // self.device.peer_line_bytes)
+            self.counters.record_access_block(
+                Channel.PEER, verts[hit], hit_bytes, transactions=peer_lines
+            )
+            miss = ~hit
+            if miss.any():
+                miss_bytes = nbytes[miss]
+                zc_lines = -(-miss_bytes // self.device.zero_copy_line_bytes)
+                self.counters.record_access_block(
+                    Channel.ZERO_COPY, verts[miss], miss_bytes, transactions=zc_lines
+                )
+
     @property
     def total_hits(self) -> int:
         """Reads served from *some* device's cache (local or peer)."""

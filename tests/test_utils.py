@@ -2,14 +2,20 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.utils import (
+    GALLOP_RATIO,
     as_generator,
     format_bytes,
     format_time_ns,
     geometric_mean,
     intersect_sorted,
+    intersect_sorted_gallop,
+    intersect_sorted_merge,
     is_sorted,
+    merge_sorted,
     merge_sorted_unique,
     require,
     spawn_generator,
@@ -64,6 +70,155 @@ class TestSortedOps:
         out = intersect_sorted(np.array([1, 3, 5, 7]), np.array([3, 4, 7]))
         assert out.tolist() == [3, 7]
         assert intersect_sorted(np.array([1]), np.array([], dtype=np.int64)).size == 0
+
+
+sorted_unique_arrays = st.lists(
+    st.integers(min_value=0, max_value=300), max_size=60
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=300), max_size=60
+).map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+
+
+class TestSortedKernelsProperties:
+    """Property-based checks of the sorted-set kernels against NumPy oracles."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=sorted_arrays, b=sorted_arrays)
+    def test_merge_sorted_matches_full_sort(self, a, b):
+        out = merge_sorted(a, b)
+        expected = np.sort(np.concatenate([a, b]), kind="stable")
+        assert out.tolist() == expected.tolist()
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=sorted_unique_arrays, b=sorted_unique_arrays)
+    def test_merge_sorted_unique_matches_union1d(self, a, b):
+        out = merge_sorted_unique(a, b)
+        assert out.tolist() == np.union1d(a, b).tolist()
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=sorted_unique_arrays, b=sorted_unique_arrays)
+    def test_intersect_variants_match_intersect1d(self, a, b):
+        expected = np.intersect1d(a, b).tolist()
+        assert intersect_sorted(a, b).tolist() == expected
+        assert intersect_sorted_merge(a, b).tolist() == expected
+        assert intersect_sorted_gallop(a, b).tolist() == expected
+
+    def test_empty_and_disjoint(self):
+        empty = np.empty(0, dtype=np.int64)
+        a = np.array([1, 5, 9], dtype=np.int64)
+        b = np.array([2, 6, 10], dtype=np.int64)
+        for fn in (intersect_sorted, intersect_sorted_merge,
+                   intersect_sorted_gallop):
+            assert fn(a, empty).size == 0
+            assert fn(empty, a).size == 0
+            assert fn(empty, empty).size == 0
+            assert fn(a, b).size == 0  # disjoint
+        assert merge_sorted(a, empty).tolist() == a.tolist()
+        assert merge_sorted(empty, b).tolist() == b.tolist()
+        assert merge_sorted(a, b).tolist() == [1, 2, 5, 6, 9, 10]
+
+    def test_gallop_dispatch_on_skew(self):
+        """The dispatcher takes the galloping path for skewed sizes and the
+        merge path otherwise; both must agree with the oracle."""
+        small = np.array([10, 500, 900], dtype=np.int64)
+        large = np.arange(0, GALLOP_RATIO * small.size * 10, 2, dtype=np.int64)
+        assert large.size >= GALLOP_RATIO * small.size
+        expected = np.intersect1d(small, large).tolist()
+        assert intersect_sorted(small, large).tolist() == expected
+        assert intersect_sorted(large, small).tolist() == expected
+
+    def test_merge_sorted_duplicates_across_runs(self):
+        # values present in both runs must appear twice in the merge
+        a = np.array([1, 3, 3, 7], dtype=np.int64)
+        b = np.array([3, 7, 8], dtype=np.int64)
+        assert merge_sorted(a, b).tolist() == [1, 3, 3, 3, 7, 7, 8]
+
+
+class TestMergeRuns:
+    """Unit tests for the executor's linear run merge (satellite of the
+    frontier-kernel change: no more concatenate-then-full-sort)."""
+
+    def test_single_run_fast_path_no_copy(self):
+        from repro.core.matching import _merge_runs
+
+        run = np.array([2, 4, 6], dtype=np.int64)
+        assert _merge_runs((run,)) is run
+
+    def test_interleaved_runs(self):
+        from repro.core.matching import _merge_runs
+
+        base = np.array([1, 4, 8, 12], dtype=np.int64)
+        delta = np.array([2, 5, 9], dtype=np.int64)
+        assert _merge_runs((base, delta)).tolist() == [1, 2, 4, 5, 8, 9, 12]
+
+    def test_three_runs(self):
+        from repro.core.matching import _merge_runs
+
+        runs = (
+            np.array([0, 10], dtype=np.int64),
+            np.array([5, 15], dtype=np.int64),
+            np.array([3, 7], dtype=np.int64),
+        )
+        assert _merge_runs(runs).tolist() == [0, 3, 5, 7, 10, 15]
+
+    def test_empty_runs(self):
+        from repro.core.matching import _merge_runs
+
+        empty = np.empty(0, dtype=np.int64)
+        run = np.array([1, 2], dtype=np.int64)
+        assert _merge_runs((empty, run)).tolist() == [1, 2]
+        assert _merge_runs((run, empty)).tolist() == [1, 2]
+
+
+class TestSegmentedContains:
+    def test_basic(self):
+        from repro.core.frontier import segmented_contains
+
+        flat = np.array([1, 3, 5, 2, 4, 6, 8], dtype=np.int64)
+        starts = np.array([0, 3, 3], dtype=np.int64)
+        lengths = np.array([3, 4, 0], dtype=np.int64)
+        queries = np.array([3, 6, 5], dtype=np.int64)
+        out = segmented_contains(flat, starts, lengths, queries)
+        assert out.tolist() == [True, True, False]  # empty segment misses
+
+    def test_empty_inputs(self):
+        from repro.core.frontier import segmented_contains
+
+        empty = np.empty(0, dtype=np.int64)
+        assert segmented_contains(empty, empty, empty, empty).size == 0
+        flat = np.array([1, 2], dtype=np.int64)
+        assert segmented_contains(flat, empty, empty, empty).size == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        segments=st.lists(
+            st.lists(st.integers(0, 50), max_size=12).map(sorted),
+            min_size=1, max_size=8,
+        ),
+        data=st.data(),
+    )
+    def test_matches_python_membership(self, segments, data):
+        from repro.core.frontier import segmented_contains
+
+        flat = np.array([x for seg in segments for x in seg], dtype=np.int64)
+        lengths = np.array([len(s) for s in segments], dtype=np.int64)
+        starts = np.concatenate([[0], np.cumsum(lengths)[:-1]]).astype(np.int64)
+        qrows = data.draw(st.lists(
+            st.integers(0, len(segments) - 1), max_size=20))
+        qvals = data.draw(st.lists(
+            st.integers(0, 60), min_size=len(qrows), max_size=len(qrows)))
+        queries = np.array(qvals, dtype=np.int64)
+        out = segmented_contains(
+            flat, starts[np.array(qrows, dtype=np.int64)]
+            if qrows else np.empty(0, dtype=np.int64),
+            lengths[np.array(qrows, dtype=np.int64)]
+            if qrows else np.empty(0, dtype=np.int64),
+            queries,
+        )
+        expected = [v in segments[r] for r, v in zip(qrows, qvals)]
+        assert out.tolist() == expected
 
 
 class TestFormatting:
