@@ -22,8 +22,10 @@ def test_table2_overhead(benchmark, record_table):
         assert 0.0 <= fe < 45.0, (dataset, qname, fe)
         assert 0.0 <= dc < 35.0, (dataset, qname, dc)
 
-    # overheads are small on average (paper: FE mostly < 10 %, DC < 5 %)
-    assert float(np.mean(fe_values)) < 15.0, fe_values
+    # overheads are small on average (paper: FE mostly < 10 %, DC < 5 %);
+    # the FE share must sit inside the paper's < 10 % band — the sampler
+    # stays a sideline of matching under either estimator implementation
+    assert float(np.mean(fe_values)) < 10.0, fe_values
     assert float(np.mean(dc_values)) < 15.0, dc_values
     # matching dominates: FE+DC below half of total everywhere
     assert all(fe + dc < 50.0 for fe, dc in out.values())

@@ -87,6 +87,7 @@ class RunResult:
     coverage_top5: float | None = None
     cache_hit_rate: float | None = None
     cache_bytes: int = 0  # mean per batch
+    estimator: str | None = None  # FE sampler the system was configured with
     # -- multi-GPU extras (left at defaults for single-device systems) -----
     num_devices: int = 1
     partitioner: str | None = None
@@ -187,6 +188,7 @@ def run_stream(
         coverage_top5=float(np.mean(cov5)) if cov5 else None,
         cache_hit_rate=hits / (hits + misses) if (hits + misses) else None,
         cache_bytes=cache_bytes // n,
+        estimator=getattr(system, "estimator_name", None),
         num_devices=getattr(system, "num_devices", 1),
         partitioner=getattr(getattr(system, "partitioner", None), "name", None),
         peer_bytes=peer_bytes,

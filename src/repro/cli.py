@@ -24,6 +24,7 @@ from typing import Sequence
 from repro.bench import figures
 from repro.bench.harness import build_workload, print_table, run_stream
 from repro.core.baselines import SYSTEM_NAMES
+from repro.core.frequency import DEFAULT_ESTIMATOR, ESTIMATORS
 from repro.core.matching import DEFAULT_EXECUTOR, EXECUTORS
 from repro.core.results import ExperimentRecord, save_records, summarize
 from repro.gpu.device import INTERCONNECTS, ClusterConfig
@@ -88,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="matching executor: the batched frontier kernel "
                             "(default) or the recursive reference; both are "
                             "counter-identical, only wall-clock differs")
+    run_p.add_argument("--estimator", default=DEFAULT_ESTIMATOR, choices=ESTIMATORS,
+                       help="frequency-estimation sampler: the level-"
+                            "synchronous merged-frontier walker (default) or "
+                            "the recursive reference; identical in the "
+                            "deterministic regime, only wall-clock differs")
     run_p.add_argument("--json", metavar="PATH", default=None,
                        help="export the record as JSON")
 
@@ -147,6 +153,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     extra: dict = {}
     if args.executor != DEFAULT_EXECUTOR:
         extra["executor"] = args.executor
+    if args.estimator != DEFAULT_ESTIMATOR:
+        extra["estimator"] = args.estimator
     if args.devices is not None:
         if args.system != "GCSM":
             print(f"--devices only applies to GCSM, not {args.system}",

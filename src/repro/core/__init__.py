@@ -22,7 +22,15 @@ from repro.core.matching import (
     match_static,
 )
 from repro.core.frontier import FrontierExecutor
-from repro.core.frequency import FrequencyEstimator, EstimationResult, required_walks
+from repro.core.frequency import (
+    DEFAULT_ESTIMATOR,
+    ESTIMATORS,
+    EstimationResult,
+    FrequencyEstimator,
+    make_estimator,
+    required_walks,
+)
+from repro.core.frequency_frontier import FrontierFrequencyEstimator
 from repro.core.dcsr import DcsrCache
 from repro.core.cache import CachePolicy, FrequencyCachePolicy, DegreeCachePolicy, CachedDeviceView
 from repro.core.engine import GCSMEngine, BatchResult
@@ -36,6 +44,10 @@ __all__ = [
     "DEFAULT_EXECUTOR",
     "FrontierExecutor",
     "FrequencyEstimator",
+    "FrontierFrequencyEstimator",
+    "make_estimator",
+    "ESTIMATORS",
+    "DEFAULT_ESTIMATOR",
     "EstimationResult",
     "required_walks",
     "DcsrCache",

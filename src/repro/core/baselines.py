@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.engine import BatchResult, GCSMEngine, reorganize_step, update_step
+from repro.core.frequency import DEFAULT_ESTIMATOR
 from repro.core.matching import DEFAULT_EXECUTOR, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
@@ -75,12 +76,16 @@ class SimpleViewSystem:
         *,
         device: DeviceConfig | None = None,
         executor: str = DEFAULT_EXECUTOR,
+        estimator: str = DEFAULT_ESTIMATOR,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
         self.query = query
         self.plans = compile_delta_plans(query)
         self.executor = executor
+        # these systems never estimate; the configured choice is still
+        # recorded so harness/results JSON stays uniform across systems
+        self.estimator_name = estimator
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -168,6 +173,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
         cache_budget_bytes: int = NAIVE_CACHE_BUDGET_BYTES,
         seed=0,
         executor: str = DEFAULT_EXECUTOR,
+        estimator: str = DEFAULT_ESTIMATOR,
     ) -> None:
         super().__init__(
             initial_graph,
@@ -177,6 +183,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
             cache_budget_bytes=cache_budget_bytes,
             seed=seed,
             executor=executor,
+            estimator=estimator,
         )
 
 
@@ -206,6 +213,7 @@ class VsgmSystem:
         device: DeviceConfig | None = None,
         strict_capacity: bool = True,
         executor: str = DEFAULT_EXECUTOR,
+        estimator: str = DEFAULT_ESTIMATOR,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
@@ -214,6 +222,7 @@ class VsgmSystem:
         self.hops = query.diameter()
         self.strict_capacity = strict_capacity
         self.executor = executor
+        self.estimator_name = estimator
         self.batches_processed = 0
         self.total_delta = 0
 

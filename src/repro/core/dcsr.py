@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.gpu.device import BYTES_PER_NEIGHBOR
-from repro.utils import VERTEX_DTYPE, require
+from repro.utils import VERTEX_DTYPE, require, segment_offsets
 
 __all__ = ["DcsrCache", "packed_size_bytes"]
 
@@ -51,11 +51,47 @@ class DcsrCache:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, graph: DynamicGraph, vertices: np.ndarray) -> "DcsrCache":
-        """Pack the current (mid-batch) lists of ``vertices``.
+        """Pack the current (mid-batch) lists of ``vertices`` (vectorized).
 
         ``vertices`` may arrive in any order; they are sorted and deduplicated
         (rowidx must support binary search).
+
+        The paper's single-DMA packing (Sec. V-B) sizes the buffer first and
+        then copies: ``rowptr`` comes from one prefix sum over the stored run
+        lengths, and because each vertex's base and delta runs are adjacent
+        in the store (:meth:`~repro.graphs.dynamic_graph.DynamicGraph.packed_run_raw`)
+        ``colidx`` is a single concatenate of per-vertex views — one bulk
+        copy, no per-vertex Python bookkeeping.  Produces arrays bit-identical
+        to :meth:`build_reference` (enforced by ``tests/test_dcsr.py``).
         """
+        verts = np.sort(np.asarray(vertices, dtype=VERTEX_DTYPE).ravel())
+        if verts.size > 1:
+            # already sorted, so dedup is one adjacent-difference mask
+            # (np.unique would redo the sort / hash the values)
+            keep = np.empty(verts.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(verts[1:], verts[:-1], out=keep[1:])
+            verts = verts[keep]
+        if verts.size:
+            require(
+                bool(verts[0] >= 0 and verts[-1] < graph.num_vertices),
+                "cache vertex out of range",
+            )
+        k = verts.size
+        base_len, total_len, views = graph.packed_runs(verts)
+        offsets = segment_offsets(total_len)
+        rowptr = np.empty((k + 1, 2), dtype=np.int64)
+        rowptr[:k, 0] = offsets[:k]
+        rowptr[:k, 1] = np.where(total_len > base_len, offsets[:k] + base_len, -1)
+        rowptr[k, 0] = offsets[k]
+        rowptr[k, 1] = -1
+        colidx = np.concatenate(views) if k else _EMPTY.copy()
+        return cls(verts, rowptr, colidx.astype(VERTEX_DTYPE, copy=False))
+
+    @classmethod
+    def build_reference(cls, graph: DynamicGraph, vertices: np.ndarray) -> "DcsrCache":
+        """The original per-vertex packing loop, kept as the parity oracle
+        for :meth:`build` (and as the honest CPU-side cost baseline)."""
         verts = np.unique(np.asarray(vertices, dtype=VERTEX_DTYPE))
         if verts.size:
             require(

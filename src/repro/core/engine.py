@@ -33,7 +33,11 @@ from repro.core.cache import (
     HybridCachePolicy,
 )
 from repro.core.dcsr import DcsrCache
-from repro.core.frequency import EstimationResult, FrequencyEstimator
+from repro.core.frequency import (
+    DEFAULT_ESTIMATOR,
+    EstimationResult,
+    make_estimator,
+)
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
@@ -190,6 +194,7 @@ class GCSMEngine:
         survival: float | None = 1.0,
         seed: int | np.random.Generator | None = 0,
         executor: str = DEFAULT_EXECUTOR,
+        estimator: str = DEFAULT_ESTIMATOR,
     ) -> None:
         self.device = device or default_device()
         self.cache_budget_bytes = (
@@ -203,9 +208,11 @@ class GCSMEngine:
         self.num_walks = num_walks
         self.adaptive_walks = adaptive_walks
         rng = as_generator(seed)
-        self.estimator = FrequencyEstimator(
-            self.graph, self.device, seed=spawn_generator(rng), survival=survival
+        self.estimator = make_estimator(
+            estimator, self.graph, self.device,
+            seed=spawn_generator(rng), survival=survival,
         )
+        self.estimator_name = estimator
         self.policy: CachePolicy = make_policy(policy)
         self.executor = executor
         self.batches_processed = 0

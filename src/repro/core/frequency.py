@@ -28,6 +28,17 @@ that estimation overhead lands in the paper's Table II range (< 10 % of
 total time); Eq. (5)'s sample-size bound is exposed as
 :func:`required_walks` and drives the adaptive re-sampling loop of
 :meth:`FrequencyEstimator.estimate_adaptive`.
+
+Two samplers implement this contract (mirroring the executor pair of
+:mod:`repro.core.matching`):
+
+* ``estimator="frontier"`` (default) — the level-synchronous merged-walk
+  sampler of :mod:`repro.core.frequency_frontier`: one flat frontier of
+  ``(bound_vertices, multiplicity, weight)`` rows per execution-tree level,
+  expanded with vectorized binomial draws and sorted-set kernels.
+* ``estimator="recursive"`` — the per-node depth-first reference below,
+  kept as the parity oracle (see ``docs/frequency.md`` for the three-layer
+  parity contract the two must satisfy).
 """
 
 from __future__ import annotations
@@ -44,14 +55,46 @@ from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig
 from repro.query.pattern import WILDCARD_LABEL
 from repro.query.plan import EdgeVersion, MatchPlan
 from repro.core.matching import delta_roots
-from repro.utils import as_generator, require
+from repro.utils import as_generator, merge_sorted, require
 
 __all__ = [
     "EstimationResult",
     "FrequencyEstimator",
     "required_walks",
     "default_num_walks",
+    "make_estimator",
+    "ESTIMATORS",
+    "DEFAULT_ESTIMATOR",
 ]
+
+#: recognized ``estimator=`` values for :func:`make_estimator` and the engines
+ESTIMATORS = ("frontier", "recursive")
+DEFAULT_ESTIMATOR = "frontier"
+
+
+def make_estimator(
+    name: str,
+    graph: DynamicGraph,
+    device: DeviceConfig,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    survival: float | None = None,
+) -> "FrequencyEstimator":
+    """Resolve an estimator name to an instance (the executor-pair analog).
+
+    ``"frontier"`` returns the level-synchronous merged-frontier sampler
+    (:class:`~repro.core.frequency_frontier.FrontierFrequencyEstimator`);
+    ``"recursive"`` the depth-first reference.  Both share the paper's
+    statistical contract, and in the deterministic full-expansion regime
+    they agree exactly (frequencies, counters, nodes visited).
+    """
+    if name == "frontier":
+        from repro.core.frequency_frontier import FrontierFrequencyEstimator
+
+        return FrontierFrequencyEstimator(graph, device, seed=seed, survival=survival)
+    if name == "recursive":
+        return FrequencyEstimator(graph, device, seed=seed, survival=survival)
+    raise ValueError(f"unknown estimator {name!r}; expected one of {ESTIMATORS}")
 
 
 def required_walks(
@@ -112,15 +155,22 @@ class EstimationResult:
         return np.nonzero(self.frequencies > 0)[0]
 
     def top_vertices(self, k: int) -> np.ndarray:
-        """The k highest-estimated vertices, ties broken by vertex id."""
+        """The k highest-estimated vertices, ties broken by ascending vertex id.
+
+        ``lexsort`` keys on (vertex id, -frequency): the primary order is
+        descending frequency, and equal-frequency runs — including ties that
+        straddle the ``k`` boundary — resolve to the smallest vertex ids, so
+        the returned prefix is fully deterministic.
+        """
         if k <= 0:
             return np.empty(0, dtype=np.int64)
         freq = self.frequencies
-        k = min(k, int(np.count_nonzero(freq > 0)))
+        nonzero = np.nonzero(freq > 0)[0]
+        k = min(k, int(nonzero.size))
         if k == 0:
             return np.empty(0, dtype=np.int64)
-        idx = np.argpartition(-freq, k - 1)[:k]
-        return idx[np.argsort(-freq[idx], kind="stable")]
+        order = np.lexsort((nonzero, -freq[nonzero]))
+        return nonzero[order[:k]]
 
 
 class FrequencyEstimator:
@@ -262,11 +312,9 @@ class FrequencyEstimator:
             arr = self.graph.neighbors_old(v)
         else:
             base, delta = self.graph.neighbors_new_parts(v)
-            if delta.size:
-                arr = np.concatenate([base, delta])
-                arr.sort()
-            else:
-                arr = base
+            # both runs arrive sorted from the store, so the linear merge
+            # kernel replaces the O(n log n) concatenate-then-sort
+            arr = merge_sorted(base, delta) if delta.size else base
         counters.record_access(Channel.CPU_DRAM, v, arr.size * BYTES_PER_NEIGHBOR)
         counters.record_compute(arr.size + 1)
         freq[v] += multiplicity * weight
@@ -325,7 +373,15 @@ class FrequencyEstimator:
             child_p = inv_d  # paper schedule: 1/D per child
         else:
             child_p = min(1.0, self.survival / cand.size)
-        b_children = self.rng.binomial(multiplicity, child_p, size=cand.size)
+        if child_p >= 1.0:
+            # saturated continuation: every child survives with its parent's
+            # full multiplicity.  Skipping the (degenerate) binomial draw
+            # keeps the RNG stream aligned with the frontier sampler, which
+            # is what makes the deterministic-regime parity *exact* across
+            # multiple plans (only root draws consume randomness there).
+            b_children = np.full(cand.size, multiplicity, dtype=np.int64)
+        else:
+            b_children = self.rng.binomial(multiplicity, child_p, size=cand.size)
         live = np.nonzero(b_children > 0)[0]
         child_weight = weight / child_p  # inverse sampling probability so far
         for j in live:

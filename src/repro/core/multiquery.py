@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.core.cache import CachedDeviceView, FrequencyCachePolicy
 from repro.core.dcsr import DcsrCache
-from repro.core.frequency import EstimationResult, FrequencyEstimator, default_num_walks
+from repro.core.frequency import (
+    DEFAULT_ESTIMATOR,
+    EstimationResult,
+    default_num_walks,
+    make_estimator,
+)
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
@@ -81,6 +86,7 @@ class MultiQueryEngine:
         cache_budget_bytes: int | None = None,
         seed: int | np.random.Generator | None = 0,
         executor: str = DEFAULT_EXECUTOR,
+        estimator: str = DEFAULT_ESTIMATOR,
     ) -> None:
         require(len(queries) >= 1, "need at least one query")
         names = [q.name for q in queries]
@@ -96,9 +102,11 @@ class MultiQueryEngine:
         self.plans = {q.name: compile_delta_plans(q) for q in queries}
         self.num_walks = num_walks
         rng = as_generator(seed)
-        self.estimator = FrequencyEstimator(
-            self.graph, self.device, seed=spawn_generator(rng), survival=survival
+        self.estimator = make_estimator(
+            estimator, self.graph, self.device,
+            seed=spawn_generator(rng), survival=survival,
         )
+        self.estimator_name = estimator
         self.policy = FrequencyCachePolicy()
         self.executor = executor
         self.batches_processed = 0

@@ -28,6 +28,7 @@ import math
 import numpy as np
 
 from repro.core.engine import BatchResult
+from repro.core.frequency import DEFAULT_ESTIMATOR
 from repro.core.matching import DEFAULT_EXECUTOR, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
@@ -82,11 +83,14 @@ class RapidFlowSystem:
         device: DeviceConfig | None = None,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
         executor: str = DEFAULT_EXECUTOR,
+        estimator: str = DEFAULT_ESTIMATOR,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
         self.query = query
         self.executor = executor
+        # RapidFlow never estimates; recorded for uniform results JSON
+        self.estimator_name = estimator
         self.memory_budget_bytes = memory_budget_bytes
         self.candidates = self._build_candidates()
         self.index_bytes = candidate_index_bytes(self.graph, query, self.candidates)

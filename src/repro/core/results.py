@@ -41,6 +41,8 @@ class ExperimentRecord:
     cache_hit_rate: float | None = None
     coverage_top1: float | None = None
     coverage_top5: float | None = None
+    #: FE sampler the system was configured with (None for pre-PR-4 JSON)
+    estimator: str | None = None
     # -- multi-GPU extras (defaults keep old JSON files loadable) ----------
     num_devices: int = 1
     partitioner: str | None = None
@@ -72,6 +74,7 @@ class ExperimentRecord:
             cache_hit_rate=run.cache_hit_rate,
             coverage_top1=run.coverage_top1,
             coverage_top5=run.coverage_top5,
+            estimator=getattr(run, "estimator", None),
             num_devices=getattr(run, "num_devices", 1),
             partitioner=getattr(run, "partitioner", None),
             comm_ns=getattr(bd, "comm_ns", 0.0),
@@ -99,6 +102,7 @@ class ExperimentRecord:
             "cache_hit_rate": self.cache_hit_rate,
             "coverage_top1": self.coverage_top1,
             "coverage_top5": self.coverage_top5,
+            "estimator": self.estimator,
             "num_devices": self.num_devices,
             "partitioner": self.partitioner,
             "comm_ns": self.comm_ns,

@@ -35,6 +35,7 @@ data-path shape even without real pinned memory.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -169,7 +170,7 @@ class DynamicGraph:
     def max_degree(self) -> int:
         if self.num_vertices == 0:
             return 0
-        return int(max(self.degree_new(v) for v in range(self.num_vertices)))
+        return int(self.degrees_new().max())
 
     # ------------------------------------------------------------------
     # Fig. 2 adjacency versions
@@ -223,6 +224,51 @@ class DynamicGraph:
         marked, and the new neighbors are appended", Sec. V-B).
         """
         return self._arrays[v][: self._base_len[v]]
+
+    def packed_run_raw(self, v: int) -> np.ndarray:
+        """Both stored runs of ``v`` as one contiguous view.
+
+        The base run (marks intact) and the appended delta run are adjacent
+        in the backing array, so the full DCSR payload of a vertex is a
+        single zero-copy slice — what bulk cache packing copies per vertex.
+        """
+        return self._arrays[v][: self._total_len[v]]
+
+    def run_lengths(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(base_len, total_len)`` of the stored runs of ``vertices``.
+
+        Reads only the selected entries of the per-vertex length lists (an
+        ``np.asarray`` over all *n* lists would dwarf the packing cost when
+        few vertices are cached).  ``itemgetter`` does the fancy-indexing of
+        the Python lists in C.
+        """
+        vlist = vertices.tolist()
+        if not vlist:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        if len(vlist) == 1:
+            return (
+                np.array([self._base_len[vlist[0]]], dtype=np.int64),
+                np.array([self._total_len[vlist[0]]], dtype=np.int64),
+            )
+        pick = operator.itemgetter(*vlist)
+        base = np.array(pick(self._base_len), dtype=np.int64)
+        total = np.array(pick(self._total_len), dtype=np.int64)
+        return base, total
+
+    def packed_runs(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray, list]:
+        """``(base_len, total_len, views)`` for bulk packing of ``vertices``.
+
+        ``views`` are zero-copy :meth:`packed_run_raw` slices; the loop binds
+        the stores to locals so per-vertex cost is one list index and one
+        slice — the Python-side floor for a list-of-arrays store.
+        """
+        base_len, total_len = self.run_lengths(vertices)
+        arrays = self._arrays
+        views = [
+            arrays[v][:t] for v, t in zip(vertices.tolist(), total_len.tolist())
+        ]
+        return base_len, total_len, views
 
     def has_edge_new(self, u: int, v: int) -> bool:
         base, delta = self.neighbors_new_parts(u)

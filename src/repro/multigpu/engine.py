@@ -43,7 +43,11 @@ from repro.core.engine import (
     reorganize_step,
     update_step,
 )
-from repro.core.frequency import EstimationResult, FrequencyEstimator
+from repro.core.frequency import (
+    DEFAULT_ESTIMATOR,
+    EstimationResult,
+    make_estimator,
+)
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
@@ -175,7 +179,7 @@ class MultiGpuEngine:
 
     Parameters mirror :class:`~repro.core.engine.GCSMEngine` (``policy``,
     ``num_walks``, ``adaptive_walks``, ``cache_budget_bytes``, ``survival``,
-    ``seed``) plus:
+    ``seed``, ``estimator``, ``executor``) plus:
 
     devices:
         Device count, or a full :class:`~repro.gpu.device.ClusterConfig`
@@ -214,6 +218,7 @@ class MultiGpuEngine:
         seed: int | np.random.Generator | None = 0,
         workers: int | None = None,
         executor: str = DEFAULT_EXECUTOR,
+        estimator: str = DEFAULT_ESTIMATOR,
     ) -> None:
         if isinstance(devices, ClusterConfig):
             self.cluster = devices
@@ -235,9 +240,11 @@ class MultiGpuEngine:
         self.adaptive_walks = adaptive_walks
         # same RNG derivation as GCSMEngine: estimates are bit-identical
         rng = as_generator(seed)
-        self.estimator = FrequencyEstimator(
-            self.graph, self.device, seed=spawn_generator(rng), survival=survival
+        self.estimator = make_estimator(
+            estimator, self.graph, self.device,
+            seed=spawn_generator(rng), survival=survival,
         )
+        self.estimator_name = estimator
         self.policy = make_policy(policy)
         self.executor = executor
         self.partitioner = make_partitioner(partitioner)

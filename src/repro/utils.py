@@ -87,6 +87,19 @@ def merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
+def segment_offsets(lengths: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of segment lengths, with the total appended.
+
+    ``offsets[i]`` is where segment ``i`` starts in the flat buffer and
+    ``offsets[-1]`` is the total size — the standard GPU scan that turns
+    per-row lengths into bulk-copy destinations (DCSR packing, frontier
+    candidate buffers).
+    """
+    out = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=out[1:])
+    return out
+
+
 def merge_sorted_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Merge two sorted unique 1-D arrays into one sorted unique array.
 

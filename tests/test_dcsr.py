@@ -97,3 +97,49 @@ class TestSizes:
     def test_packed_size_helper(self):
         assert packed_size_bytes(0) == 12
         assert packed_size_bytes(10) == 52
+
+
+class TestBuildParity:
+    """The vectorized build must reproduce the reference loop bit-for-bit."""
+
+    def assert_identical(self, a: DcsrCache, b: DcsrCache) -> None:
+        assert a.rowidx.dtype == b.rowidx.dtype
+        assert a.rowptr.dtype == b.rowptr.dtype
+        assert a.colidx.dtype == b.colidx.dtype
+        assert np.array_equal(a.rowidx, b.rowidx)
+        assert np.array_equal(a.rowptr, b.rowptr)
+        assert np.array_equal(a.colidx, b.colidx)
+
+    def test_fig6_scenario(self):
+        dg = store_with_batch()
+        fast = DcsrCache.build(dg, np.array([3, 1]))
+        ref = DcsrCache.build_reference(dg, np.array([3, 1]))
+        self.assert_identical(fast, ref)
+
+    def test_empty_selection(self):
+        dg = store_with_batch()
+        fast = DcsrCache.build(dg, np.empty(0, dtype=np.int64))
+        ref = DcsrCache.build_reference(dg, np.empty(0, dtype=np.int64))
+        self.assert_identical(fast, ref)
+        assert fast.rowptr.tolist() == [[0, -1]]
+
+    def test_randomized_streams_with_deletions(self):
+        g = erdos_renyi(200, 6.0, num_labels=2, seed=13)
+        g0, batches = derive_stream(
+            g, update_fraction=0.4, batch_size=32, insert_probability=0.5, seed=13
+        )
+        dg = DynamicGraph(g0)
+        rng = np.random.default_rng(99)
+        for batch in batches[:6]:
+            dg.apply_batch(batch)
+            # mixed selections: random subsets, duplicates, isolated vertices
+            verts = rng.choice(dg.num_vertices, size=50, replace=True)
+            self.assert_identical(
+                DcsrCache.build(dg, verts), DcsrCache.build_reference(dg, verts)
+            )
+            everything = np.arange(dg.num_vertices, dtype=np.int64)
+            self.assert_identical(
+                DcsrCache.build(dg, everything),
+                DcsrCache.build_reference(dg, everything),
+            )
+            dg.reorganize()

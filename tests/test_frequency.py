@@ -5,10 +5,13 @@ over many independent runs converges to the exact access counts measured by
 instrumenting the exact matching kernel (paper Eq. 6).
 """
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.core.frequency import (
+    EstimationResult,
     FrequencyEstimator,
     default_num_walks,
     required_walks,
@@ -18,6 +21,7 @@ from repro.graphs import DynamicGraph
 from repro.graphs.generators import erdos_renyi, powerlaw_graph
 from repro.graphs.stream import derive_stream
 from repro.gpu import AccessCounters, HostCPUView, default_device
+from repro.gpu.counters import Channel
 from repro.query import QueryGraph, compile_delta_plans
 
 TRIANGLE = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
@@ -207,3 +211,107 @@ class TestTheorem1:
         large = self._misrank_rate(num_walks=1024)
         assert large <= small
         assert large < 0.1  # large M ranks the frequent vertex correctly
+
+
+class TestTopVerticesTieBreak:
+    """Regression: the docstring promises ties broken by ascending vertex id,
+    including ties that straddle the k boundary (argpartition used to leave
+    the boundary order arbitrary)."""
+
+    def _result(self, freq):
+        return EstimationResult(
+            np.asarray(freq, dtype=np.float64), 1, 0, AccessCounters()
+        )
+
+    def test_tie_at_boundary_picks_smallest_ids(self):
+        # four vertices tied at 5.0; top-2 must be the two smallest ids
+        res = self._result([0.0, 5.0, 5.0, 5.0, 3.0, 5.0])
+        assert res.top_vertices(2).tolist() == [1, 2]
+        assert res.top_vertices(4).tolist() == [1, 2, 3, 5]
+
+    def test_descending_frequency_then_id(self):
+        res = self._result([2.0, 7.0, 2.0, 9.0, 7.0])
+        assert res.top_vertices(5).tolist() == [3, 1, 4, 0, 2]
+
+    def test_zero_entries_never_returned(self):
+        res = self._result([0.0, 0.0, 1.0])
+        assert res.top_vertices(3).tolist() == [2]
+
+    def test_many_ties_match_full_lexsort(self):
+        rng = np.random.default_rng(17)
+        freq = rng.integers(0, 4, size=500).astype(np.float64)
+        res = self._result(freq)
+        nonzero = np.nonzero(freq > 0)[0]
+        full = nonzero[np.lexsort((nonzero, -freq[nonzero]))]
+        for k in (1, 7, 100, nonzero.size):
+            assert res.top_vertices(k).tolist() == full[:k].tolist()
+
+
+class TestAdaptiveCornerCases:
+    def test_max_rounds_one_is_single_pass(self):
+        """max_rounds=1 must be exactly one plain estimate() pass."""
+        dg, batch = setup_case(seed=21)
+        plans = compile_delta_plans(TRIANGLE)
+        adaptive = FrequencyEstimator(dg, default_device(), seed=3).estimate_adaptive(
+            plans, batch, initial_walks=128, max_rounds=1
+        )
+        single = FrequencyEstimator(dg, default_device(), seed=3).estimate(
+            plans, batch, num_walks=128
+        )
+        assert adaptive.num_walks == 128
+        assert np.array_equal(adaptive.frequencies, single.frequencies)
+        assert adaptive.nodes_visited == single.nodes_visited
+        assert adaptive.counters.compute_ops == single.counters.compute_ops
+
+    def test_required_walks_overflow_to_inf_clamps(self):
+        """Eq. (5) can overflow to float inf; the adaptive loop must clamp
+        to max_walks and keep going instead of crashing."""
+        assert math.isinf(required_walks(3, 10**6, 10**6, 1e-300))
+        dg, batch = setup_case(seed=22)
+        plans = compile_delta_plans(TRIANGLE)
+        est = FrequencyEstimator(dg, default_device(), seed=4)
+        # tiny alpha makes `needed` astronomically large (inf after overflow),
+        # so every round runs at the max_walks clamp
+        res = est.estimate_adaptive(
+            plans, batch, initial_walks=64, alpha=1e-160,
+            max_walks=512, max_rounds=3,
+        )
+        assert res.num_walks <= 64 + 2 * 512
+        assert res.num_walks > 64  # the clamp actually triggered extra rounds
+        assert np.all(np.isfinite(res.frequencies))
+
+    def test_merged_counters_equal_sum_of_passes(self):
+        """estimate_adaptive's merged counters == pass-1 + pass-2 counters."""
+        dg, batch = setup_case(seed=23)
+        plans = compile_delta_plans(TRIANGLE)
+        est = FrequencyEstimator(dg, default_device(), seed=5)
+        adaptive = est.estimate_adaptive(
+            plans, batch, initial_walks=32, alpha=1e-160,
+            max_walks=256, max_rounds=2,
+        )
+        assert adaptive.num_walks == 32 + 256  # two passes happened
+
+        # replay both passes with an identically-seeded estimator
+        replay = FrequencyEstimator(dg, default_device(), seed=5)
+        p1 = replay.estimate(plans, batch, num_walks=32)
+        p2 = replay.estimate(plans, batch, num_walks=256)
+        assert adaptive.nodes_visited == p1.nodes_visited + p2.nodes_visited
+        assert adaptive.counters.compute_ops == (
+            p1.counters.compute_ops + p2.counters.compute_ops
+        )
+        for ch in Channel:
+            assert adaptive.counters.bytes_by_channel[ch] == (
+                p1.counters.bytes_by_channel[ch] + p2.counters.bytes_by_channel[ch]
+            )
+            assert adaptive.counters.transactions_by_channel[ch] == (
+                p1.counters.transactions_by_channel[ch]
+                + p2.counters.transactions_by_channel[ch]
+            )
+        n = dg.num_vertices
+        assert np.array_equal(
+            adaptive.counters.vertex_access_counts(n),
+            p1.counters.vertex_access_counts(n) + p2.counters.vertex_access_counts(n),
+        )
+        # and the merged frequencies are the walk-weighted average
+        expected = (p1.frequencies * 32 + p2.frequencies * 256) / (32 + 256)
+        assert np.allclose(adaptive.frequencies, expected)
