@@ -88,6 +88,7 @@ class RunResult:
     cache_hit_rate: float | None = None
     cache_bytes: int = 0  # mean per batch
     estimator: str | None = None  # FE sampler the system was configured with
+    conflict_mode: str | None = None  # update-conflict policy (Sec. V-A hardening)
     # -- multi-GPU extras (left at defaults for single-device systems) -----
     num_devices: int = 1
     partitioner: str | None = None
@@ -189,6 +190,7 @@ def run_stream(
         cache_hit_rate=hits / (hits + misses) if (hits + misses) else None,
         cache_bytes=cache_bytes // n,
         estimator=getattr(system, "estimator_name", None),
+        conflict_mode=getattr(system, "conflict_mode", None),
         num_devices=getattr(system, "num_devices", 1),
         partitioner=getattr(getattr(system, "partitioner", None), "name", None),
         peer_bytes=peer_bytes,

@@ -29,6 +29,7 @@ from repro.core.matching import DEFAULT_EXECUTOR, EXECUTORS
 from repro.core.results import ExperimentRecord, save_records, summarize
 from repro.gpu.device import INTERCONNECTS, ClusterConfig
 from repro.graphs import datasets
+from repro.graphs.stream import CONFLICT_MODES
 from repro.multigpu.partition import PARTITIONER_NAMES
 from repro.query import QUERIES, QUERY_ORDER, query_by_name
 from repro.utils import format_bytes, format_time_ns
@@ -94,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "synchronous merged-frontier walker (default) or "
                             "the recursive reference; identical in the "
                             "deterministic regime, only wall-clock differs")
+    run_p.add_argument("--conflict-mode", default=None, choices=CONFLICT_MODES,
+                       help="update-conflict policy for duplicate inserts / "
+                            "phantom deletes / same-batch churn: strict "
+                            "(raise), coalesce (last-occurrence-wins netting; "
+                            "engine default), ignore (first-occurrence wins)")
     run_p.add_argument("--json", metavar="PATH", default=None,
                        help="export the record as JSON")
 
@@ -121,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
     ver_p.add_argument("--oracle", action="store_true",
                        help="also recount from scratch (small graphs only)")
     ver_p.add_argument("--seed", type=int, default=0)
+    ver_p.add_argument("--fuzz", type=int, default=None, metavar="N",
+                       help="differential stream fuzzing: replay N adversarial "
+                            "update streams (duplicates, phantom deletes, "
+                            "churn, double deletes, new-vertex bursts, "
+                            "flapping) through every system with the oracle "
+                            "and store-invariant checks enabled")
+    ver_p.add_argument("--conflict-mode", default=None, choices=CONFLICT_MODES,
+                       help="update-conflict policy to force on every system "
+                            "(fuzz default: coalesce)")
     return parser
 
 
@@ -169,6 +184,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         extra["partitioner"] = args.partitioner
         extra["workers"] = args.workers
+    if args.conflict_mode is not None:
+        extra["conflict_mode"] = args.conflict_mode
     try:
         result = run_stream(
             args.system, args.dataset, query_by_name(args.query),
@@ -236,7 +253,21 @@ def _cmd_figure(name: str) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.core.validation import ConsistencyError, verify_stream
+    from repro.core.validation import ConsistencyError, fuzz_verify, verify_stream
+    from repro.graphs.stream import DEFAULT_CONFLICT_MODE
+
+    if args.fuzz is not None:
+        try:
+            report = fuzz_verify(
+                args.fuzz, seed=args.seed,
+                conflict_mode=args.conflict_mode or DEFAULT_CONFLICT_MODE,
+                verbose=True,
+            )
+        except ConsistencyError as exc:
+            print(f"FAILED: {exc}")
+            return 1
+        print(report.describe())
+        return 0
 
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     g0, batches = build_workload(
@@ -247,6 +278,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         report = verify_stream(
             systems, g0, query_by_name(args.query), batches[: args.batches],
             against_oracle=args.oracle, seed=args.seed,
+            conflict_mode=args.conflict_mode,
         )
     except ConsistencyError as exc:
         print(f"FAILED: {exc}")

@@ -30,7 +30,7 @@ from repro.core.frequency import DEFAULT_ESTIMATOR
 from repro.core.matching import DEFAULT_EXECUTOR, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch
+from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
 from repro.gpu.clock import TimeBreakdown, simulated_time_ns
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
@@ -77,12 +77,14 @@ class SimpleViewSystem:
         device: DeviceConfig | None = None,
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
+        conflict_mode: str = DEFAULT_CONFLICT_MODE,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
         self.query = query
         self.plans = compile_delta_plans(query)
         self.executor = executor
+        self.conflict_mode = conflict_mode
         # these systems never estimate; the configured choice is still
         # recorded so harness/results JSON stays uniform across systems
         self.estimator_name = estimator
@@ -97,7 +99,9 @@ class SimpleViewSystem:
         graph = self.graph
         breakdown = TimeBreakdown()
 
-        breakdown.update_ns = update_step(graph, batch, self.device)
+        batch, breakdown.update_ns = update_step(
+            graph, batch, self.device, self.conflict_mode
+        )
 
         match_counters = AccessCounters()
         view = self._make_view(match_counters)
@@ -120,6 +124,7 @@ class SimpleViewSystem:
             cache_bytes=0,
             cache_hits=0,
             cache_misses=stats.roots_processed,
+            conflicts=graph.last_canonical_report,
         )
 
     def snapshot(self) -> StaticGraph:
@@ -174,6 +179,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
         seed=0,
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
+        conflict_mode: str = DEFAULT_CONFLICT_MODE,
     ) -> None:
         super().__init__(
             initial_graph,
@@ -184,6 +190,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
             seed=seed,
             executor=executor,
             estimator=estimator,
+            conflict_mode=conflict_mode,
         )
 
 
@@ -214,6 +221,7 @@ class VsgmSystem:
         strict_capacity: bool = True,
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
+        conflict_mode: str = DEFAULT_CONFLICT_MODE,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
@@ -223,6 +231,7 @@ class VsgmSystem:
         self.strict_capacity = strict_capacity
         self.executor = executor
         self.estimator_name = estimator
+        self.conflict_mode = conflict_mode
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -250,7 +259,9 @@ class VsgmSystem:
         graph = self.graph
         breakdown = TimeBreakdown()
 
-        breakdown.update_ns = update_step(graph, batch, self.device)
+        batch, breakdown.update_ns = update_step(
+            graph, batch, self.device, self.conflict_mode
+        )
 
         # gather + copy (this is VSGM's "DC" phase of Fig. 13)
         gather_counters = AccessCounters()
@@ -290,6 +301,7 @@ class VsgmSystem:
             cache_bytes=copy_bytes,
             cache_hits=stats.roots_processed,
             cache_misses=view.fallthrough_accesses,
+            conflicts=graph.last_canonical_report,
         )
 
     def snapshot(self) -> StaticGraph:

@@ -41,7 +41,7 @@ from repro.core.frequency import (
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch
+from repro.graphs.stream import CanonicalReport, DEFAULT_CONFLICT_MODE, UpdateBatch
 from repro.gpu.clock import TimeBreakdown, simulated_time_ns
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
@@ -79,14 +79,28 @@ def make_policy(policy: str | CachePolicy) -> CachePolicy:
     raise ValueError(f"unknown cache policy {policy!r}")
 
 
-def update_step(graph: DynamicGraph, batch: UpdateBatch, device: DeviceConfig) -> float:
-    """Step 1: fold ``ΔE`` into the CPU store; returns simulated ns."""
-    graph.apply_batch(batch)
+def update_step(
+    graph: DynamicGraph,
+    batch: UpdateBatch,
+    device: DeviceConfig,
+    mode: str = DEFAULT_CONFLICT_MODE,
+) -> tuple[UpdateBatch, float]:
+    """Step 1: canonicalize ``ΔE`` under ``mode`` and fold it into the CPU
+    store; returns ``(effective_batch, simulated_ns)``.
+
+    Every later step — estimation, root generation, matching — must run on
+    the returned *effective* batch: its updates are exactly the symmetric
+    difference between the pre- and post-batch edge sets, which is what
+    makes ΔM equal the true state difference on conflicted streams.  The
+    raw batch is still what the CPU scans (and classifies), so the charged
+    work covers the full input.
+    """
+    effective = graph.apply_batch(batch, mode=mode)
     counters = AccessCounters()
     avg_deg = max(2.0, 2.0 * graph.num_edges / max(1, graph.num_vertices))
     per_update_ops = int(2 * (1 + math.log2(avg_deg)))
     counters.record_compute(len(batch) * per_update_ops)
-    return simulated_time_ns(counters, device, platform="cpu")
+    return effective, simulated_time_ns(counters, device, platform="cpu")
 
 
 def pack_step(
@@ -135,6 +149,10 @@ class BatchResult:
     cache_bytes: int
     cache_hits: int
     cache_misses: int
+    #: classification of the raw batch against the pre-batch store (None for
+    #: legacy constructors); ``conflicts.anomalies`` counts updates a clean
+    #: stream would never contain
+    conflicts: CanonicalReport | None = None
 
     @property
     def cpu_access_bytes(self) -> int:
@@ -195,6 +213,7 @@ class GCSMEngine:
         seed: int | np.random.Generator | None = 0,
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
+        conflict_mode: str = DEFAULT_CONFLICT_MODE,
     ) -> None:
         self.device = device or default_device()
         self.cache_budget_bytes = (
@@ -215,6 +234,7 @@ class GCSMEngine:
         self.estimator_name = estimator
         self.policy: CachePolicy = make_policy(policy)
         self.executor = executor
+        self.conflict_mode = conflict_mode
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -226,7 +246,10 @@ class GCSMEngine:
         breakdown = TimeBreakdown()
 
         # -- step 1: dynamic graph update on the CPU ----------------------
-        breakdown.update_ns = update_step(graph, batch, self.device)
+        # every later step runs on the canonicalized *effective* batch
+        batch, breakdown.update_ns = update_step(
+            graph, batch, self.device, self.conflict_mode
+        )
 
         # -- step 2: frequency estimation (CPU) ---------------------------
         estimation: EstimationResult | None = None
@@ -269,6 +292,7 @@ class GCSMEngine:
             cache_bytes=cache.total_bytes,
             cache_hits=view.hits,
             cache_misses=view.misses,
+            conflicts=graph.last_canonical_report,
         )
 
     def process_stream(self, batches: list[UpdateBatch]) -> list[BatchResult]:

@@ -37,7 +37,7 @@ from repro.core.frequency import (
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch
+from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
 from repro.gpu.clock import TimeBreakdown, simulated_time_ns
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
@@ -87,6 +87,7 @@ class MultiQueryEngine:
         seed: int | np.random.Generator | None = 0,
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
+        conflict_mode: str = DEFAULT_CONFLICT_MODE,
     ) -> None:
         require(len(queries) >= 1, "need at least one query")
         names = [q.name for q in queries]
@@ -109,6 +110,7 @@ class MultiQueryEngine:
         self.estimator_name = estimator
         self.policy = FrequencyCachePolicy()
         self.executor = executor
+        self.conflict_mode = conflict_mode
         self.batches_processed = 0
 
     # ------------------------------------------------------------------
@@ -143,10 +145,11 @@ class MultiQueryEngine:
         breakdown = TimeBreakdown()
 
         # -- shared step 1: update -----------------------------------------
-        graph.apply_batch(batch)
+        raw_len = len(batch)  # the CPU scans (and classifies) every raw update
+        batch = graph.apply_batch(batch, mode=self.conflict_mode)
         upd = AccessCounters()
         avg_deg = max(2.0, 2.0 * graph.num_edges / max(1, graph.num_vertices))
-        upd.record_compute(len(batch) * int(2 * (1 + math.log2(avg_deg))))
+        upd.record_compute(raw_len * int(2 * (1 + math.log2(avg_deg))))
         breakdown.update_ns = simulated_time_ns(upd, self.device, platform="cpu")
 
         # -- shared step 2: pooled estimation --------------------------------

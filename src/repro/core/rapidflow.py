@@ -32,7 +32,7 @@ from repro.core.frequency import DEFAULT_ESTIMATOR
 from repro.core.matching import DEFAULT_EXECUTOR, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch
+from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
 from repro.gpu.clock import TimeBreakdown, simulated_time_ns
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
@@ -84,11 +84,13 @@ class RapidFlowSystem:
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
+        conflict_mode: str = DEFAULT_CONFLICT_MODE,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
         self.query = query
         self.executor = executor
+        self.conflict_mode = conflict_mode
         # RapidFlow never estimates; recorded for uniform results JSON
         self.estimator_name = estimator
         self.memory_budget_bytes = memory_budget_bytes
@@ -212,10 +214,11 @@ class RapidFlowSystem:
         graph = self.graph
         breakdown = TimeBreakdown()
 
-        graph.apply_batch(batch)
+        raw_len = len(batch)  # the CPU scans (and classifies) every raw update
+        batch = graph.apply_batch(batch, mode=self.conflict_mode)
         upd = AccessCounters()
         avg_deg = max(2.0, 2.0 * graph.num_edges / max(1, graph.num_vertices))
-        upd.record_compute(len(batch) * int(2 * (1 + math.log2(avg_deg))))
+        upd.record_compute(raw_len * int(2 * (1 + math.log2(avg_deg))))
         self._maintain_index(batch, upd)
         breakdown.update_ns = simulated_time_ns(upd, self.device, platform="cpu")
 
@@ -246,6 +249,7 @@ class RapidFlowSystem:
             cache_bytes=self.index_bytes,
             cache_hits=0,
             cache_misses=0,
+            conflicts=graph.last_canonical_report,
         )
 
     def snapshot(self) -> StaticGraph:

@@ -43,6 +43,8 @@ class ExperimentRecord:
     coverage_top5: float | None = None
     #: FE sampler the system was configured with (None for pre-PR-4 JSON)
     estimator: str | None = None
+    #: update-conflict policy the system ran with (None for older JSON)
+    conflict_mode: str | None = None
     # -- multi-GPU extras (defaults keep old JSON files loadable) ----------
     num_devices: int = 1
     partitioner: str | None = None
@@ -75,6 +77,7 @@ class ExperimentRecord:
             coverage_top1=run.coverage_top1,
             coverage_top5=run.coverage_top5,
             estimator=getattr(run, "estimator", None),
+            conflict_mode=getattr(run, "conflict_mode", None),
             num_devices=getattr(run, "num_devices", 1),
             partitioner=getattr(run, "partitioner", None),
             comm_ns=getattr(bd, "comm_ns", 0.0),
@@ -103,6 +106,7 @@ class ExperimentRecord:
             "coverage_top1": self.coverage_top1,
             "coverage_top5": self.coverage_top5,
             "estimator": self.estimator,
+            "conflict_mode": self.conflict_mode,
             "num_devices": self.num_devices,
             "partitioner": self.partitioner,
             "comm_ns": self.comm_ns,

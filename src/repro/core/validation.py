@@ -1,31 +1,76 @@
-"""Cross-system consistency checking.
+"""Cross-system consistency checking and differential stream fuzzing.
 
 The strongest correctness property in this codebase is that *every* system —
-GCSM, the four GPU baselines, the CPU loop, RapidFlow — computes the exact
-same signed ΔM for the same batch: they differ only in data movement.
-:func:`verify_stream` drives any set of systems over one stream and checks
-that property batch by batch, optionally against the brute-force oracle as
-well.  It is used by the integration tests and exposed through
-``python -m repro verify`` so a user who modifies the library (or doubts a
-result) can re-establish confidence in seconds.
+GCSM (single- or multi-GPU), the four GPU baselines, the CPU loop,
+RapidFlow — computes the exact same signed ΔM for the same batch: they
+differ only in data movement.  :func:`verify_stream` drives any set of
+systems over one stream and checks that property batch by batch, optionally
+against the brute-force oracle as well.
+
+On top of it sits a **differential stream fuzzer**:
+:func:`generate_adversarial_stream` produces batches exhibiting every
+anomaly class real-world streams contain (duplicate inserts, phantom
+deletes, same-batch insert+delete churn, double deletes, new-vertex bursts,
+hot-edge flapping), and :func:`fuzz_verify` replays many independently
+seeded adversarial cases through the full system set with the oracle and
+per-batch store-invariant checks enabled.  It is exposed through
+``python -m repro verify [--fuzz N]`` so a user who modifies the library
+(or doubts a result) can re-establish confidence in seconds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.baselines import make_system
 from repro.core.reference import count_embeddings
+from repro.graphs import generators
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch
+from repro.graphs.stream import DEFAULT_CONFLICT_MODE, CanonicalReport, UpdateBatch
 from repro.query.pattern import QueryGraph
-from repro.utils import require
+from repro.utils import as_generator, require
 
-__all__ = ["VerificationReport", "ConsistencyError", "verify_stream"]
+__all__ = [
+    "VerificationReport",
+    "ConsistencyError",
+    "verify_stream",
+    "generate_adversarial_stream",
+    "fuzz_verify",
+    "FuzzReport",
+    "DEFAULT_FUZZ_SYSTEMS",
+]
 
 
 class ConsistencyError(AssertionError):
     """Two systems (or a system and the oracle) disagreed on ΔM."""
+
+
+def _parse_system_spec(spec: str) -> tuple[str, dict]:
+    """``"GCSM@2"`` → ``("GCSM", {"devices": 2})``; plain names pass through.
+
+    The ``@N`` suffix routes GCSM to the sharded multi-GPU engine so the
+    fuzzer exercises the shard-union matching path alongside single-device
+    systems.
+    """
+    if "@" in spec:
+        name, _, devices = spec.partition("@")
+        require(name == "GCSM", f"@N device suffix only applies to GCSM, got {spec!r}")
+        require(devices.isdigit() and int(devices) >= 1,
+                f"bad device count in system spec {spec!r}")
+        return name, {"devices": int(devices)}
+    return spec, {}
+
+
+def _conflict_key(report: CanonicalReport | None) -> tuple | None:
+    if report is None:
+        return None
+    return (
+        report.input_size, report.output_size, report.new_inserts,
+        report.duplicate_inserts, report.valid_deletes,
+        report.phantom_deletes, report.intra_batch_dropped,
+    )
 
 
 @dataclass
@@ -37,6 +82,9 @@ class VerificationReport:
     num_batches: int
     delta_per_batch: list[int] = field(default_factory=list)
     oracle_checked: bool = False
+    conflict_mode: str | None = None
+    invariants_checked: bool = False
+    anomalies: CanonicalReport | None = None
 
     @property
     def total_delta(self) -> int:
@@ -44,10 +92,13 @@ class VerificationReport:
 
     def describe(self) -> str:
         oracle = "oracle-checked" if self.oracle_checked else "cross-checked"
-        return (
+        msg = (
             f"{len(self.systems)} systems agree on {self.query} over "
             f"{self.num_batches} batches ({oracle}); total ΔM = {self.total_delta:+d}"
         )
+        if self.anomalies is not None and self.anomalies.anomalies:
+            msg += f"; absorbed {self.anomalies.anomalies} anomalous updates"
+        return msg
 
 
 def verify_stream(
@@ -58,32 +109,71 @@ def verify_stream(
     *,
     against_oracle: bool = False,
     seed: int = 0,
+    conflict_mode: str | None = None,
+    check_invariants: bool = False,
+    system_kwargs: dict | None = None,
 ) -> VerificationReport:
     """Run every system over the stream; raise on any ΔM disagreement.
 
     ``against_oracle=True`` additionally recounts embeddings from scratch
     after every batch (exponential-ish cost — keep the graphs small).
+    ``conflict_mode`` forces one update-conflict policy on every system
+    (``None`` keeps each system's default); with a mode set, the per-batch
+    :class:`~repro.graphs.stream.CanonicalReport` of every system must also
+    agree — all stores classify the same raw batch against the same state.
+    ``check_invariants=True`` audits every system's dynamic store after each
+    batch (i.e. after its reorganize).  System names accept the ``GCSM@N``
+    spec for the N-device sharded engine, and ``system_kwargs`` is forwarded
+    to every system constructor (e.g. ``{"executor": "recursive"}``).
     """
     require(len(system_names) >= 1, "need at least one system")
     require(len(batches) >= 1, "need at least one batch")
-    systems = {
-        name: make_system(name, initial_graph, query, seed=seed)
-        for name in system_names
-    }
+    systems = {}
+    for spec in system_names:
+        name, extra = _parse_system_spec(spec)
+        kwargs = dict(system_kwargs or {})
+        kwargs.update(extra)
+        if conflict_mode is not None:
+            kwargs["conflict_mode"] = conflict_mode
+        systems[spec] = make_system(name, initial_graph, query, seed=seed, **kwargs)
     report = VerificationReport(
         systems=list(system_names), query=query.name, num_batches=len(batches),
-        oracle_checked=against_oracle,
+        oracle_checked=against_oracle, conflict_mode=conflict_mode,
+        invariants_checked=check_invariants,
+        anomalies=CanonicalReport(mode=conflict_mode or "default"),
     )
     prev_count = count_embeddings(initial_graph, query) if against_oracle else None
     for k, batch in enumerate(batches):
         deltas = {}
+        conflicts = {}
         for name, system in systems.items():
-            deltas[name] = system.process_batch(batch).delta_count
+            result = system.process_batch(batch)
+            deltas[name] = result.delta_count
+            conflicts[name] = getattr(result, "conflicts", None)
+            if check_invariants:
+                store = getattr(system, "graph", None)
+                if store is not None:
+                    try:
+                        store.check_invariants()
+                    except ValueError as exc:
+                        raise ConsistencyError(
+                            f"batch {k}: {name} store invariant violated: {exc}"
+                        ) from exc
         distinct = set(deltas.values())
         if len(distinct) != 1:
             raise ConsistencyError(
                 f"batch {k}: systems disagree on ΔM: {deltas}"
             )
+        keys = {n: _conflict_key(r) for n, r in conflicts.items() if r is not None}
+        if len(set(keys.values())) > 1:
+            raise ConsistencyError(
+                f"batch {k}: systems disagree on batch classification: "
+                f"{ {n: r.describe() for n, r in conflicts.items() if r is not None} }"
+            )
+        first = next((r for r in conflicts.values() if r is not None), None)
+        if first is not None:
+            assert report.anomalies is not None
+            report.anomalies.merge(first)
         delta = distinct.pop()
         if against_oracle:
             snapshot = systems[system_names[0]].snapshot()
@@ -96,4 +186,284 @@ def verify_stream(
                 )
             prev_count = now
         report.delta_per_batch.append(delta)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Adversarial stream generation
+# ----------------------------------------------------------------------
+
+#: Anomaly classes the generator cycles through.  ``clean_*`` keep the
+#: stream making progress; the rest reproduce the real-world pathologies
+#: the update protocol must be total over.
+_OP_CLASSES = (
+    "clean_insert",
+    "clean_delete",
+    "dup_insert",
+    "phantom_delete",
+    "churn",
+    "double_delete",
+    "new_vertex",
+    "flap",
+)
+
+
+def generate_adversarial_stream(
+    initial: StaticGraph,
+    *,
+    num_batches: int = 4,
+    batch_size: int = 16,
+    seed: int | np.random.Generator | None = 0,
+) -> list[UpdateBatch]:
+    """Batches exhibiting every update-anomaly class (fuzzer input).
+
+    Each batch mixes clean inserts/deletes with duplicate inserts, phantom
+    deletes (including deletes of never-introduced vertices), same-batch
+    insert+delete churn pairs, double deletes, new-vertex bursts (with
+    labels), and hot-edge flapping (the same edge toggled several times in
+    one batch).  Orientation of every emitted update is randomized, so the
+    store's orientation-insensitive netting is exercised too.
+
+    Presence is tracked under **coalesce** (last-occurrence-wins) netting so
+    later batches stay plausible; under other conflict modes the class mix
+    drifts slightly but every batch remains a legal input.
+    """
+    require(num_batches >= 1, "need at least one batch")
+    require(batch_size >= 4, "adversarial batches need at least 4 updates")
+    rng = as_generator(seed)
+    num_labels = int(initial.labels.max()) + 1 if initial.num_vertices else 1
+    present: set[tuple[int, int]] = {
+        (int(u), int(v)) for u, v in initial.edge_array()
+    }
+    materialized = initial.num_vertices
+    next_fresh = initial.num_vertices
+    assigned_labels: dict[int, int] = {}
+    hot: list[tuple[int, int]] = []
+
+    def orient(e: tuple[int, int]) -> tuple[int, int]:
+        return e if rng.random() < 0.5 else (e[1], e[0])
+
+    def pick_present() -> tuple[int, int] | None:
+        if not present:
+            return None
+        pool = sorted(present)
+        return pool[int(rng.integers(0, len(pool)))]
+
+    def pick_absent() -> tuple[int, int] | None:
+        for _ in range(64):
+            u = int(rng.integers(0, materialized))
+            v = int(rng.integers(0, materialized))
+            if u == v:
+                continue
+            e = (min(u, v), max(u, v))
+            if e not in present:
+                return e
+        return None
+
+    def fresh_vertex() -> int:
+        nonlocal next_fresh
+        v = next_fresh
+        next_fresh += 1
+        assigned_labels[v] = int(rng.integers(0, num_labels))
+        return v
+
+    batches: list[UpdateBatch] = []
+    for _ in range(num_batches):
+        ops: list[tuple[int, int, int]] = []
+
+        def emit(e: tuple[int, int], sign: int) -> None:
+            u, v = orient(e)
+            ops.append((u, v, sign))
+
+        classes = list(_OP_CLASSES)
+        rng.shuffle(classes)
+        ci = 0
+        while len(ops) < batch_size:
+            cls = classes[ci % len(classes)]
+            ci += 1
+            if cls == "clean_insert":
+                e = pick_absent()
+                if e:
+                    emit(e, +1)
+            elif cls == "clean_delete":
+                e = pick_present()
+                if e:
+                    emit(e, -1)
+            elif cls == "dup_insert":
+                e = pick_present()
+                if e:
+                    emit(e, +1)
+            elif cls == "phantom_delete":
+                if rng.random() < 0.5:
+                    e = pick_absent()
+                else:
+                    # delete an edge of a vertex id nobody ever introduced
+                    u = int(rng.integers(0, max(1, materialized)))
+                    e = (u, next_fresh + int(rng.integers(1, 4)))
+                if e:
+                    emit(e, -1)
+            elif cls == "churn":
+                # insert-then-delete of the same edge inside one batch; the
+                # delete must hit the unsorted ΔN run, then net to nothing
+                e = pick_absent()
+                if e:
+                    emit(e, +1)
+                    emit(e, -1)
+            elif cls == "double_delete":
+                e = pick_present()
+                if e:
+                    emit(e, -1)
+                    emit(e, -1)
+            elif cls == "new_vertex":
+                # burst: a fresh vertex attached to the graph, sometimes
+                # chained to a second fresh vertex
+                if materialized == 0:
+                    continue
+                anchor = int(rng.integers(0, materialized))
+                v = fresh_vertex()
+                emit((anchor, v), +1)
+                if rng.random() < 0.3:
+                    emit((v, fresh_vertex()), +1)
+            elif cls == "flap":
+                if not hot:
+                    e = pick_present() or pick_absent()
+                    if e is None:
+                        continue
+                    hot.append(e)
+                e = hot[int(rng.integers(0, len(hot)))]
+                for _ in range(int(rng.integers(2, 4))):
+                    emit(e, +1 if rng.random() < 0.5 else -1)
+        ops = ops[:batch_size]
+        if not ops:  # pragma: no cover - batch_size >= 4 always yields ops
+            continue
+
+        # settle presence under coalesce (last occurrence wins per edge)
+        final: dict[tuple[int, int], int] = {}
+        for u, v, sign in ops:
+            final[(min(u, v), max(u, v))] = sign
+        for e, sign in final.items():
+            if sign > 0 and e not in present:
+                present.add(e)
+                materialized = max(materialized, e[1] + 1)
+            elif sign < 0:
+                present.discard(e)
+
+        edges = np.array([(u, v) for u, v, _ in ops], dtype=np.int64)
+        signs = np.array([s for _, _, s in ops], dtype=np.int64)
+        labels = {
+            v: lbl for v, lbl in assigned_labels.items()
+            if v >= initial.num_vertices
+        }
+        batches.append(UpdateBatch(edges, signs, labels))
+    return batches
+
+
+# ----------------------------------------------------------------------
+# Differential fuzzing
+# ----------------------------------------------------------------------
+
+#: Every system the fuzzer cross-checks by default — both GCSM engines
+#: (single-GPU and 2-device sharded), all four GPU baselines, the CPU
+#: loop, and RapidFlow.
+DEFAULT_FUZZ_SYSTEMS = (
+    "GCSM", "GCSM@2", "ZC", "UM", "Naive", "VSGM", "CPU", "RapidFlow",
+)
+
+#: Queries the fuzz cases rotate through (kept small: the oracle recounts
+#: embeddings from scratch after every batch).
+_FUZZ_QUERIES = ("Q1", "Q2", "Q4")
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a differential fuzzing run."""
+
+    num_cases: int
+    systems: list[str]
+    conflict_mode: str
+    total_batches: int = 0
+    total_updates: int = 0
+    total_effective: int = 0
+    total_delta: int = 0
+    anomalies: CanonicalReport = field(
+        default_factory=lambda: CanonicalReport(mode="aggregate")
+    )
+    case_seeds: list[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        a = self.anomalies
+        return (
+            f"fuzz: {self.num_cases} adversarial cases x {len(self.systems)} "
+            f"systems agree with the oracle (mode={self.conflict_mode}); "
+            f"{self.total_updates} raw updates -> {self.total_effective} "
+            f"effective over {self.total_batches} batches "
+            f"(absorbed {a.duplicate_inserts} dup-insert, "
+            f"{a.phantom_deletes} phantom-delete, "
+            f"{a.intra_batch_dropped} intra-batch); "
+            f"total ΔM = {self.total_delta:+d}"
+        )
+
+
+def fuzz_verify(
+    num_cases: int,
+    *,
+    systems: list[str] | None = None,
+    seed: int = 0,
+    conflict_mode: str = DEFAULT_CONFLICT_MODE,
+    num_batches: int = 4,
+    batch_size: int = 16,
+    verbose: bool = False,
+) -> FuzzReport:
+    """Differential stream fuzzing: ``num_cases`` adversarial streams.
+
+    Each case draws a small random labeled graph, a catalog query, and an
+    adversarial stream, then runs every system batch-by-batch with the
+    brute-force oracle and per-batch store-invariant checks enabled.  Any
+    ΔM disagreement, oracle mismatch, classification divergence, or store
+    corruption raises :class:`ConsistencyError` annotated with the exact
+    case seed so the failure replays deterministically.
+    """
+    from repro.query import QUERIES
+
+    require(num_cases >= 1, "need at least one fuzz case")
+    systems = list(systems or DEFAULT_FUZZ_SYSTEMS)
+    report = FuzzReport(
+        num_cases=num_cases, systems=systems, conflict_mode=conflict_mode,
+    )
+    master = np.random.default_rng(seed)
+    for case in range(num_cases):
+        case_seed = int(master.integers(0, 2**31 - 1))
+        report.case_seeds.append(case_seed)
+        rng = np.random.default_rng(case_seed)
+        # dense enough that the catalog queries have embeddings to gain and
+        # lose (ΔM != 0), small enough that the oracle recount stays cheap
+        n = int(rng.integers(24, 49))
+        avg_degree = float(rng.uniform(6.0, 9.0))
+        g0 = generators.erdos_renyi(
+            n, avg_degree, num_labels=3, seed=np.random.default_rng(case_seed)
+        )
+        query = QUERIES[_FUZZ_QUERIES[case % len(_FUZZ_QUERIES)]]
+        batches = generate_adversarial_stream(
+            g0, num_batches=num_batches, batch_size=batch_size,
+            seed=np.random.default_rng(case_seed + 1),
+        )
+        try:
+            case_report = verify_stream(
+                systems, g0, query, batches,
+                against_oracle=True, seed=case_seed,
+                conflict_mode=conflict_mode, check_invariants=True,
+            )
+        except ConsistencyError as exc:
+            raise ConsistencyError(
+                f"fuzz case {case} (seed={case_seed}, query={query.name}, "
+                f"n={n}): {exc}"
+            ) from exc
+        report.total_batches += case_report.num_batches
+        report.total_delta += case_report.total_delta
+        assert case_report.anomalies is not None
+        report.anomalies.merge(case_report.anomalies)
+        report.total_updates += case_report.anomalies.input_size
+        report.total_effective += case_report.anomalies.output_size
+        if verbose:
+            print(f"  case {case} (seed={case_seed}): {case_report.describe()}")
     return report

@@ -3,7 +3,15 @@ and dynamic-stream derivation (paper Sec. V-A and Sec. VI-A)."""
 
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.dynamic_graph import DynamicGraph
-from repro.graphs.stream import EdgeUpdate, UpdateBatch, derive_stream
+from repro.graphs.stream import (
+    CONFLICT_MODES,
+    DEFAULT_CONFLICT_MODE,
+    BatchConflictError,
+    CanonicalReport,
+    EdgeUpdate,
+    UpdateBatch,
+    derive_stream,
+)
 from repro.graphs import generators, datasets
 
 __all__ = [
@@ -11,6 +19,10 @@ __all__ = [
     "DynamicGraph",
     "EdgeUpdate",
     "UpdateBatch",
+    "CanonicalReport",
+    "BatchConflictError",
+    "CONFLICT_MODES",
+    "DEFAULT_CONFLICT_MODE",
     "derive_stream",
     "generators",
     "datasets",

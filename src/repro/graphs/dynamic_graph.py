@@ -42,10 +42,10 @@ from typing import Iterable
 import numpy as np
 
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch
-from repro.utils import VERTEX_DTYPE, require
+from repro.graphs.stream import CanonicalReport, UpdateBatch
+from repro.utils import VERTEX_DTYPE, merge_sorted, require
 
-__all__ = ["DynamicGraph", "ReorganizeStats"]
+__all__ = ["DynamicGraph", "ReorganizeStats", "merge_runs_reference"]
 
 _EMPTY = np.empty(0, dtype=VERTEX_DTYPE)
 
@@ -61,6 +61,31 @@ def _decode(values: np.ndarray) -> np.ndarray:
     if neg.any():
         out[neg] = -out[neg] - 1
     return out
+
+
+def merge_runs_reference(kept: np.ndarray, delta: np.ndarray) -> np.ndarray:
+    """Scalar two-pointer merge of the kept base run and the ΔN run.
+
+    The literal per-element loop of paper Sec. V-A step 4, retained as the
+    parity oracle for the vectorized merge :meth:`DynamicGraph.reorganize`
+    uses in production (``benchmarks/test_table3_reorg.py`` checks both the
+    output arrays and the wall-clock win).
+    """
+    merged = np.empty(kept.size + delta.size, dtype=VERTEX_DTYPE)
+    i = j = k = 0
+    while i < kept.size and j < delta.size:
+        if kept[i] <= delta[j]:
+            merged[k] = kept[i]
+            i += 1
+        else:
+            merged[k] = delta[j]
+            j += 1
+        k += 1
+    if i < kept.size:
+        merged[k:] = kept[i:]
+    elif j < delta.size:
+        merged[k:] = delta[j:]
+    return merged
 
 
 @dataclass
@@ -104,6 +129,8 @@ class DynamicGraph:
         self._touched: set[int] = set()
         self._batch_open = False
         self._num_edges = initial.num_edges
+        #: classification of the most recent :meth:`apply_batch` input
+        self.last_canonical_report: CanonicalReport | None = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -281,8 +308,18 @@ class DynamicGraph:
     # ------------------------------------------------------------------
     # update protocol
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> None:
+    def apply_batch(self, batch: UpdateBatch, mode: str = "strict") -> UpdateBatch:
         """Step 1 of the pipeline: fold ``ΔE`` into the store.
+
+        The batch is first canonicalized against the current store
+        (:meth:`~repro.graphs.stream.UpdateBatch.canonicalize`), so arbitrary
+        real-world streams — duplicate inserts, phantom deletes, same-batch
+        churn pairs — are either rejected up front with a batch-level
+        diagnostic (``mode="strict"``, the default for the raw store) or
+        netted to their exact effect (``"coalesce"`` / ``"ignore"``) before
+        any mutation.  Returns the *effective* batch, which callers running
+        the incremental matcher must use for root generation so ΔM equals
+        the true state difference.
 
         Insertions are appended per endpoint (and the appended runs sorted,
         as the split intersections require sorted ``ΔN``); deletions are
@@ -290,13 +327,15 @@ class DynamicGraph:
         "open" — :meth:`reorganize` must be called after matching.
         """
         require(not self._batch_open, "previous batch not reorganized yet")
+        effective, report = batch.canonicalize(self, mode=mode)
+        self.last_canonical_report = report
         self._batch_open = True
         self._touched = set()
-        max_vertex = int(batch.max_vertex(default=-1))
+        max_vertex = int(effective.max_vertex(default=-1))
         if max_vertex >= self.num_vertices:
-            self._grow_vertices(max_vertex + 1, batch.new_vertex_labels)
-        ins = batch.insert_edges()
-        dels = batch.delete_edges()
+            self._grow_vertices(max_vertex + 1, effective.new_vertex_labels)
+        ins = effective.insert_edges()
+        dels = effective.delete_edges()
         for u, v in ins.tolist():
             self._append_neighbor(u, v)
             self._append_neighbor(v, u)
@@ -309,12 +348,15 @@ class DynamicGraph:
             if hi - lo > 1:
                 self._arrays[v][lo:hi] = np.sort(self._arrays[v][lo:hi])
         self._num_edges += int(ins.shape[0]) - int(dels.shape[0])
+        return effective
 
     def reorganize(self) -> ReorganizeStats:
         """Step 5 of the pipeline: restore the sorted invariant.
 
         For each touched list, drop deletion marks and merge the sorted
-        appended run into the base run in linear time, then close the batch.
+        appended run into the base run with the vectorized linear merge
+        (:func:`~repro.utils.merge_sorted`; :func:`merge_runs_reference` is
+        the retained scalar oracle), then close the batch.
         """
         require(self._batch_open, "no open batch to reorganize")
         stats = ReorganizeStats()
@@ -324,32 +366,19 @@ class DynamicGraph:
             delta = arr[self._base_len[v] : self._total_len[v]]
             kept = base[base >= 0] if (base.size and base.min() < 0) else base
             dropped = base.size - kept.size
-            merged = np.empty(kept.size + delta.size, dtype=VERTEX_DTYPE)
-            # linear-time two-run merge (both runs sorted)
-            i = j = k = 0
-            kept_list, delta_list = kept, delta
-            while i < kept_list.size and j < delta_list.size:
-                if kept_list[i] <= delta_list[j]:
-                    merged[k] = kept_list[i]
-                    i += 1
-                else:
-                    merged[k] = delta_list[j]
-                    j += 1
-                k += 1
-            if i < kept_list.size:
-                merged[k:] = kept_list[i:]
-            elif j < delta_list.size:
-                merged[k:] = delta_list[j:]
+            stats.lists_touched += 1
+            stats.merged_elements += int(kept.size + delta.size)
+            stats.deletions_dropped += int(dropped)
+            stats.insertions_merged += int(delta.size)
+            if dropped == 0 and delta.size == 0:
+                continue  # list already settled (e.g. a cancelled ΔN delete)
+            merged = merge_sorted(kept, delta) if delta.size else kept
             new_len = merged.size
             if new_len > arr.size:  # pragma: no cover - capacity always suffices
                 arr = self._reallocate(v, new_len)
             arr[:new_len] = merged
             self._base_len[v] = new_len
             self._total_len[v] = new_len
-            stats.lists_touched += 1
-            stats.merged_elements += int(kept.size + delta.size)
-            stats.deletions_dropped += int(dropped)
-            stats.insertions_merged += int(delta.size)
         self._touched = set()
         self._batch_open = False
         return stats
@@ -398,12 +427,24 @@ class DynamicGraph:
         base = arr[: self._base_len[u]]
         decoded = _decode(base) if (base.size and base.min() < 0) else base
         pos = int(np.searchsorted(decoded, v))
-        require(
-            pos < decoded.size and decoded[pos] == v and base[pos] >= 0,
-            f"deletion of non-existent edge ({u}, {v})",
-        )
-        arr[pos] = _encode_deleted(v)
-        self._touched.add(u)
+        if pos < decoded.size and decoded[pos] == v:
+            require(base[pos] >= 0, f"double deletion of edge ({u}, {v})")
+            arr[pos] = _encode_deleted(v)
+            self._touched.add(u)
+            return
+        # Not in the base run: the neighbor may live in the ΔN run appended
+        # by this very batch (same-batch insert-then-delete).  Canonicalized
+        # batches cancel such pairs up front, but the store stays total for
+        # raw callers: drop the appended entry in place.  ΔN is still
+        # unsorted at this point, so scan it linearly.
+        lo, hi = self._base_len[u], self._total_len[u]
+        for i in range(lo, hi):
+            if arr[i] == v:
+                arr[i:hi - 1] = arr[i + 1:hi].copy()
+                self._total_len[u] = hi - 1
+                self._touched.add(u)
+                return
+        require(False, f"deletion of non-existent edge ({u}, {v})")
 
     # ------------------------------------------------------------------
     # conversions / oracles
@@ -470,17 +511,39 @@ class DynamicGraph:
         )
 
     def check_invariants(self) -> None:
-        """Validate store invariants (used by property tests)."""
+        """Validate store invariants (used by property tests and the fuzzer).
+
+        Beyond the original sorted-run checks this validates that every ΔN
+        run is strictly sorted and disjoint from the surviving base run (a
+        duplicate-insert corruption shows up here as a repeated neighbor),
+        and that ``num_edges`` is exact: half the sum of post-batch degrees.
+        """
+        degree_sum = 0
         for v in range(self.num_vertices):
+            require(self._base_len[v] <= self._total_len[v] <= self._arrays[v].size,
+                    f"run lengths of {v} out of bounds")
             base = self._arrays[v][: self._base_len[v]]
             decoded = _decode(base)
             require(bool(np.all(decoded[1:] > decoded[:-1])) if decoded.size > 1 else True,
                     f"base run of {v} not strictly sorted")
             delta = self._arrays[v][self._base_len[v] : self._total_len[v]]
+            kept = base[base >= 0]
+            degree_sum += int(kept.size + delta.size)
             if not self._batch_open:
                 require(delta.size == 0, f"closed batch but delta at {v}")
                 require(bool(base.size == 0 or base.min() >= 0),
                         f"closed batch but deletion mark at {v}")
+            else:
+                require(bool(np.all(delta[1:] > delta[:-1])) if delta.size > 1 else True,
+                        f"delta run of {v} not strictly sorted (duplicate insert?)")
+                if delta.size and kept.size:
+                    pos = np.searchsorted(kept, delta)
+                    dup = (pos < kept.size) & (kept[np.minimum(pos, kept.size - 1)] == delta)
+                    require(not bool(dup.any()),
+                            f"delta run of {v} duplicates base neighbors")
+        require(degree_sum == 2 * self._num_edges,
+                f"num_edges={self._num_edges} inconsistent with adjacency "
+                f"(degree sum {degree_sum})")
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,10 @@ from repro.utils import VERTEX_DTYPE, as_generator, require
 __all__ = [
     "EdgeUpdate",
     "UpdateBatch",
+    "CanonicalReport",
+    "BatchConflictError",
+    "CONFLICT_MODES",
+    "DEFAULT_CONFLICT_MODE",
     "derive_stream",
     "derive_localized_stream",
     "insert_only_stream",
@@ -32,6 +36,80 @@ __all__ = [
 #: sign conventions for update operations
 INSERT = 1
 DELETE = -1
+
+#: recognized intra-batch conflict-handling modes (see ``docs/streams.md``):
+#: ``strict`` rejects any anomalous batch with a diagnostic before the store
+#: is touched; ``coalesce`` nets same-edge updates (last occurrence wins) and
+#: drops store-level no-ops; ``ignore`` keeps only the first update of each
+#: edge and drops store-level no-ops.
+CONFLICT_MODES = ("strict", "coalesce", "ignore")
+
+#: default conflict mode for the engines/baselines (the store itself defaults
+#: to ``strict`` — see :meth:`repro.graphs.DynamicGraph.apply_batch`).
+DEFAULT_CONFLICT_MODE = "coalesce"
+
+
+class BatchConflictError(ValueError):
+    """A batch violates the ``strict`` update-conflict contract.
+
+    Raised *before* any store mutation, with a batch-level diagnostic naming
+    each conflict class and example edges — the real-traffic replacement for
+    the mid-mutation crashes and silent corruption the raw protocol exhibits
+    on duplicate inserts, phantom deletes, and same-batch churn pairs.
+    """
+
+    def __init__(self, message: str, report: "CanonicalReport") -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class CanonicalReport:
+    """Classification of one batch against the current store.
+
+    ``input_size``/``output_size`` are the raw and effective update counts;
+    the per-class counters partition the raw updates (after within-batch
+    netting) into the four classes of the update-conflict semantics table:
+    new insert / duplicate insert / valid delete / phantom delete.
+    ``intra_batch_dropped`` counts updates removed because another update of
+    the same edge won the within-batch netting.
+    """
+
+    mode: str
+    input_size: int = 0
+    output_size: int = 0
+    new_inserts: int = 0
+    duplicate_inserts: int = 0
+    valid_deletes: int = 0
+    phantom_deletes: int = 0
+    intra_batch_dropped: int = 0
+
+    @property
+    def anomalies(self) -> int:
+        """Updates a conflict-free stream would never contain."""
+        return self.duplicate_inserts + self.phantom_deletes + self.intra_batch_dropped
+
+    @property
+    def dropped(self) -> int:
+        return self.input_size - self.output_size
+
+    def merge(self, other: "CanonicalReport") -> None:
+        self.input_size += other.input_size
+        self.output_size += other.output_size
+        self.new_inserts += other.new_inserts
+        self.duplicate_inserts += other.duplicate_inserts
+        self.valid_deletes += other.valid_deletes
+        self.phantom_deletes += other.phantom_deletes
+        self.intra_batch_dropped += other.intra_batch_dropped
+
+    def describe(self) -> str:
+        return (
+            f"canonicalize[{self.mode}]: {self.input_size} -> {self.output_size} "
+            f"updates (+{self.new_inserts} insert / -{self.valid_deletes} delete; "
+            f"dropped {self.duplicate_inserts} dup-insert, "
+            f"{self.phantom_deletes} phantom-delete, "
+            f"{self.intra_batch_dropped} intra-batch)"
+        )
 
 
 @dataclass(frozen=True)
@@ -105,6 +183,113 @@ class UpdateBatch:
         edges = np.concatenate([fwd, rev], axis=0)
         signs = np.concatenate([self.signs, self.signs])
         return edges, signs
+
+    def canonicalize(
+        self, graph, mode: str = "strict"
+    ) -> tuple["UpdateBatch", CanonicalReport]:
+        """Resolve intra-batch conflicts and classify against ``graph``.
+
+        ``graph`` is the *pre-batch* store — anything exposing
+        ``num_vertices`` and ``has_edge_new`` (:class:`~repro.graphs.DynamicGraph`)
+        or ``has_edge`` (:class:`~repro.graphs.StaticGraph`).  Updates are
+        grouped by undirected edge (orientation-insensitive), netted within
+        the batch, and classified as new insert / duplicate insert / valid
+        delete / phantom delete:
+
+        * ``strict`` — any same-edge repetition, duplicate insert, or
+          phantom delete raises :class:`BatchConflictError` (nothing is
+          applied); a clean batch is returned unchanged (same object).
+        * ``coalesce`` — the **last** update of each edge wins (the final
+          state a sequential replay would reach), then store-level no-ops
+          are dropped.  The effective batch is exactly the symmetric
+          difference between the pre- and post-batch edge sets.
+        * ``ignore`` — the **first** update of each edge wins (later
+          conflicting updates are ignored), then store-level no-ops are
+          dropped.
+
+        Edge orientation and relative order of the surviving updates are
+        preserved, so conflict-free streams pass through bit-identically.
+        """
+        require(mode in CONFLICT_MODES,
+                f"unknown conflict mode {mode!r}; expected one of {CONFLICT_MODES}")
+        report = CanonicalReport(mode=mode, input_size=len(self))
+        if len(self) == 0:
+            report.output_size = 0
+            return self, report
+        has_edge = getattr(graph, "has_edge_new", None) or graph.has_edge
+        n = graph.num_vertices
+        lo = np.minimum(self.edges[:, 0], self.edges[:, 1])
+        hi = np.maximum(self.edges[:, 0], self.edges[:, 1])
+        uniq, inverse = np.unique(
+            np.stack([lo, hi], axis=1), axis=0, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)  # numpy >= 2.0 keeps the (b, 1) shape
+        num_groups = uniq.shape[0]
+        present = np.fromiter(
+            (v < n and has_edge(int(u), int(v)) for u, v in uniq.tolist()),
+            count=num_groups, dtype=bool,
+        )
+        positions = np.arange(len(self), dtype=np.int64)
+        if mode == "ignore":
+            winner = np.full(num_groups, len(self), dtype=np.int64)
+            np.minimum.at(winner, inverse, positions)
+        else:  # strict validates, coalesce nets — both look at the last op
+            winner = np.full(num_groups, -1, dtype=np.int64)
+            np.maximum.at(winner, inverse, positions)
+        winner_sign = self.signs[winner]
+        keep = np.where(winner_sign > 0, ~present, present)
+        group_sizes = np.bincount(inverse, minlength=num_groups)
+
+        report.intra_batch_dropped = int(len(self) - num_groups)
+        report.new_inserts = int(np.count_nonzero((winner_sign > 0) & keep))
+        report.duplicate_inserts = int(np.count_nonzero((winner_sign > 0) & ~keep))
+        report.valid_deletes = int(np.count_nonzero((winner_sign < 0) & keep))
+        report.phantom_deletes = int(np.count_nonzero((winner_sign < 0) & ~keep))
+        report.output_size = report.new_inserts + report.valid_deletes
+
+        if mode == "strict" and report.anomalies:
+            raise BatchConflictError(self._conflict_diagnostic(
+                uniq, group_sizes, winner_sign, present, report), report)
+
+        if report.output_size == len(self):
+            return self, report  # clean batch: pass through untouched
+        order = np.sort(winner[keep])
+        return UpdateBatch(
+            self.edges[order], self.signs[order], self.new_vertex_labels
+        ), report
+
+    @staticmethod
+    def _conflict_diagnostic(
+        uniq: np.ndarray,
+        group_sizes: np.ndarray,
+        winner_sign: np.ndarray,
+        present: np.ndarray,
+        report: CanonicalReport,
+        max_examples: int = 4,
+    ) -> str:
+        """Batch-level ``strict``-mode diagnostic with example edges."""
+
+        def sample(mask: np.ndarray) -> str:
+            edges = uniq[mask][:max_examples]
+            text = ", ".join(f"({u}, {v})" for u, v in edges.tolist())
+            extra = int(np.count_nonzero(mask)) - edges.shape[0]
+            return text + (f", ... +{extra} more" if extra > 0 else "")
+
+        parts = []
+        repeated = group_sizes > 1
+        if repeated.any():
+            parts.append(f"{int(np.count_nonzero(repeated))} edge(s) updated "
+                         f"more than once in the batch: {sample(repeated)}")
+        dup = (winner_sign > 0) & present
+        if dup.any():
+            parts.append(f"{int(np.count_nonzero(dup))} insert(s) of existing "
+                         f"edges: {sample(dup)}")
+        phantom = (winner_sign < 0) & ~present
+        if phantom.any():
+            parts.append(f"{int(np.count_nonzero(phantom))} delete(s) of "
+                         f"non-existent edges: {sample(phantom)}")
+        return ("strict conflict mode rejected the batch: " + "; ".join(parts)
+                + " (use conflict mode 'coalesce' or 'ignore' to net these out)")
 
     def __repr__(self) -> str:
         n_ins = int(np.count_nonzero(self.signs > 0))

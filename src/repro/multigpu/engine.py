@@ -51,7 +51,7 @@ from repro.core.frequency import (
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch
+from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
 from repro.gpu.clock import TimeBreakdown, simulated_time_ns
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import ClusterConfig, DeviceConfig, default_device
@@ -219,6 +219,7 @@ class MultiGpuEngine:
         workers: int | None = None,
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
+        conflict_mode: str = DEFAULT_CONFLICT_MODE,
     ) -> None:
         if isinstance(devices, ClusterConfig):
             self.cluster = devices
@@ -247,6 +248,7 @@ class MultiGpuEngine:
         self.estimator_name = estimator
         self.policy = make_policy(policy)
         self.executor = executor
+        self.conflict_mode = conflict_mode
         self.partitioner = make_partitioner(partitioner)
         self.workers = workers
         self.shards = [
@@ -264,7 +266,10 @@ class MultiGpuEngine:
         breakdown = TimeBreakdown()
 
         # -- step 1: dynamic graph update (host, shared) -------------------
-        breakdown.update_ns = update_step(graph, batch, self.device)
+        # every later step runs on the canonicalized *effective* batch
+        batch, breakdown.update_ns = update_step(
+            graph, batch, self.device, self.conflict_mode
+        )
 
         # -- step 2: frequency estimation (host, shared) -------------------
         estimation: EstimationResult | None = None
@@ -373,6 +378,7 @@ class MultiGpuEngine:
             cache_bytes=sum(s.cache.total_bytes for s in self.shards),
             cache_hits=sum(o.view.total_hits for o in outcomes),
             cache_misses=sum(o.view.total_misses for o in outcomes),
+            conflicts=graph.last_canonical_report,
             shard_reports=shard_reports,
             load_balance=balance,
             comm=comm,

@@ -79,3 +79,30 @@ class TestVerifyCommand:
         ])
         assert code == 0
         assert "systems agree" in capsys.readouterr().out
+
+    def test_verify_fuzz(self, capsys):
+        code = main(["verify", "--fuzz", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adversarial cases" in out
+        assert "agree with the oracle" in out
+
+    def test_verify_fuzz_with_conflict_mode(self, capsys):
+        code = main(["verify", "--fuzz", "1", "--conflict-mode", "ignore"])
+        assert code == 0
+        assert "mode=ignore" in capsys.readouterr().out
+
+    def test_run_conflict_mode_in_json(self, capsys, tmp_path):
+        path = tmp_path / "record.json"
+        code = main([
+            "run", "--system", "CPU", "--dataset", "AZ", "--query", "Q1",
+            "--batch-size", "16", "--conflict-mode", "strict",
+            "--json", str(path),
+        ])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload[0]["conflict_mode"] == "strict"
+
+    def test_bad_conflict_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--conflict-mode", "merge"])

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graphs import DynamicGraph, StaticGraph, UpdateBatch
+from repro.graphs import BatchConflictError, DynamicGraph, StaticGraph, UpdateBatch
+from repro.graphs.dynamic_graph import merge_runs_reference
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.stream import derive_stream
 
@@ -117,6 +118,102 @@ class TestReorganize:
         dg = DynamicGraph(base_graph())
         with pytest.raises(ValueError):
             dg.snapshot_old()
+
+
+class TestConflictHardening:
+    """Regression tests for the three real-world stream crashes/corruptions:
+    same-batch insert+delete, duplicate insert, double delete."""
+
+    def test_same_batch_insert_then_delete_nets_away(self):
+        # regression: this batch used to crash _mark_deleted (the inserted
+        # edge lives in the unsorted ΔN run, not the sorted base run)
+        dg = DynamicGraph(base_graph())
+        eff = dg.apply_batch(UpdateBatch([(0, 3), (0, 3)], [1, -1]), mode="coalesce")
+        assert len(eff) == 0
+        assert dg.num_edges == 4
+        assert dg.snapshot() == base_graph()
+        dg.reorganize()
+        dg.check_invariants()
+        assert dg.snapshot() == base_graph()
+
+    def test_delete_out_of_delta_run_directly(self):
+        # white-box: the ΔN-run delete path itself (an effective batch can
+        # legitimately delete an edge a previous batch left in ΔN)
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 3), (1, 3)], [1, 1]))
+        dg._mark_deleted(0, 3)
+        dg._mark_deleted(3, 0)
+        dg._num_edges -= 1
+        assert dg.neighbors_new(0).tolist() == [1, 2]
+        assert dg.neighbors_new(3).tolist() == [1, 2]
+        dg.reorganize()
+        dg.check_invariants()
+        assert dg.snapshot() == base_graph().with_edges(np.array([[1, 3]]))
+
+    def test_duplicate_insert_is_idempotent_under_coalesce(self):
+        dg = DynamicGraph(base_graph())
+        eff = dg.apply_batch(UpdateBatch([(0, 1), (1, 3)], [1, 1]), mode="coalesce")
+        assert eff.edges.tolist() == [[1, 3]]
+        assert dg.num_edges == 5  # exact: the duplicate did not double-count
+        assert dg.neighbors_new(0).tolist() == [1, 2]  # no duplicate entry
+        dg.reorganize()
+        dg.check_invariants()
+
+    def test_duplicate_insert_rejected_under_strict(self):
+        dg = DynamicGraph(base_graph())
+        with pytest.raises(BatchConflictError):
+            dg.apply_batch(UpdateBatch([(0, 1)], [1]), mode="strict")
+        # store untouched and still settled: the next batch applies cleanly
+        assert dg.num_edges == 4
+        dg.apply_batch(UpdateBatch([(1, 3)], [1]), mode="strict")
+        dg.reorganize()
+        dg.check_invariants()
+
+    def test_double_delete_deduped_under_coalesce(self):
+        # regression: the second delete of (0, 2) used to crash on the
+        # already-marked base entry
+        dg = DynamicGraph(base_graph())
+        eff = dg.apply_batch(UpdateBatch([(0, 2), (2, 0)], [-1, -1]), mode="coalesce")
+        assert len(eff) == 1
+        assert dg.num_edges == 3
+        dg.reorganize()
+        dg.check_invariants()
+        assert dg.snapshot() == base_graph().without_edges(np.array([[0, 2]]))
+
+    def test_double_delete_diagnosed_under_strict(self):
+        dg = DynamicGraph(base_graph())
+        with pytest.raises(BatchConflictError, match="updated more than once"):
+            dg.apply_batch(UpdateBatch([(0, 2), (0, 2)], [-1, -1]), mode="strict")
+        assert dg.num_edges == 4
+
+    def test_ignore_mode_keeps_first_occurrence(self):
+        dg = DynamicGraph(base_graph())
+        eff = dg.apply_batch(UpdateBatch([(0, 2), (0, 2)], [-1, 1]), mode="ignore")
+        assert eff.signs.tolist() == [-1]
+        assert dg.num_edges == 3
+        dg.reorganize()
+        dg.check_invariants()
+
+    def test_last_canonical_report_exposed(self):
+        dg = DynamicGraph(base_graph())
+        dg.apply_batch(UpdateBatch([(0, 1), (1, 3)], [1, 1]), mode="coalesce")
+        rep = dg.last_canonical_report
+        assert rep is not None
+        assert rep.duplicate_inserts == 1 and rep.new_inserts == 1
+
+
+class TestVectorizedMerge:
+    def test_merge_matches_scalar_reference(self):
+        from repro.utils import merge_sorted
+
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            pool = rng.choice(200, size=int(rng.integers(0, 40)), replace=False)
+            split = int(rng.integers(0, pool.size + 1))
+            kept = np.sort(pool[:split]).astype(np.int64)
+            delta = np.sort(pool[split:]).astype(np.int64)
+            assert merge_sorted(kept, delta).tolist() == \
+                merge_runs_reference(kept, delta).tolist()
 
 
 class TestSnapshots:
