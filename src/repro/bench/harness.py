@@ -24,7 +24,14 @@ from repro.gpu.device import DeviceConfig
 from repro.query.pattern import QueryGraph
 from repro.utils import format_time_ns
 
-__all__ = ["RunResult", "run_stream", "build_workload", "clear_caches", "print_table"]
+__all__ = [
+    "RunResult",
+    "run_stream",
+    "run_rulebook_stream",
+    "build_workload",
+    "clear_caches",
+    "print_table",
+]
 
 _GRAPH_CACHE: dict[tuple, StaticGraph] = {}
 _STREAM_CACHE: dict[tuple, tuple[StaticGraph, list[UpdateBatch]]] = {}
@@ -96,6 +103,9 @@ class RunResult:
     allreduce_ns: float = 0.0  # summed over batches
     imbalance: float | None = None  # mean per-batch max/mean shard time
     load_balance: list[dict] = field(default_factory=list)  # per-batch reports
+    # -- multi-query (rulebook) extras -------------------------------------
+    shared: bool | None = None  # shared trie execution vs per-query loop
+    rulebook_size: int | None = None  # number of standing queries
 
     @property
     def total_ms(self) -> float:
@@ -197,6 +207,76 @@ def run_stream(
         allreduce_ns=allreduce_ns,
         imbalance=float(np.mean(imbalances)) if imbalances else None,
         load_balance=lb_reports,
+    )
+
+
+def run_rulebook_stream(
+    dataset: str,
+    queries: list[QueryGraph],
+    *,
+    shared: bool = True,
+    batch_size: int | None = None,
+    num_batches: int = 1,
+    seed: int = 0,
+    device: DeviceConfig | None = None,
+    **engine_kwargs,
+) -> RunResult:
+    """Drive a :class:`~repro.core.multiquery.MultiQueryEngine` rulebook.
+
+    The rulebook analog of :func:`run_stream`: one engine matches every
+    named query per batch, with ``shared`` selecting trie execution or the
+    per-query independent baseline.  ``delta_total`` / ``embeddings_total``
+    sum over all queries; ``query`` is labelled with the rulebook size.
+    """
+    from repro.core.multiquery import MultiBatchResult, MultiQueryEngine
+    from repro.gpu.counters import Channel
+
+    g0, batches = build_workload(
+        dataset, batch_size=batch_size, num_batches=num_batches, seed=seed
+    )
+    batches = batches[:num_batches]
+    engine = MultiQueryEngine(
+        g0, queries, device=device, seed=seed, shared=shared, **engine_kwargs
+    )
+
+    agg_breakdown = TimeBreakdown()
+    agg_counters = AccessCounters()
+    delta_total = 0
+    embeddings_total = 0
+    cpu_bytes = 0
+    cache_bytes = 0
+    hits = misses = 0
+    for batch in batches:
+        result: MultiBatchResult = engine.process_batch(batch)
+        agg_breakdown = agg_breakdown + result.breakdown
+        agg_counters.merge(result.match_counters)
+        delta_total += result.total_delta
+        embeddings_total += sum(
+            st.embeddings_found for st in result.match_stats.values()
+        )
+        cpu_bytes += result.match_counters.bytes_by_channel[Channel.ZERO_COPY]
+        cache_bytes += result.cache_bytes
+        hits += result.cache_hits
+        misses += result.cache_misses
+
+    n = max(1, len(batches))
+    return RunResult(
+        system="GCSM-multi",
+        dataset=dataset,
+        query=f"rulebook[{len(queries)}]",
+        batch_size=batch_size or datasets.DATASETS[dataset].default_batch_size,
+        num_batches=len(batches),
+        breakdown=agg_breakdown.scaled(1.0 / n),
+        counters=agg_counters,
+        delta_total=delta_total,
+        embeddings_total=embeddings_total,
+        cpu_access_bytes=cpu_bytes // n,
+        cache_hit_rate=hits / (hits + misses) if (hits + misses) else None,
+        cache_bytes=cache_bytes // n,
+        estimator=engine.estimator_name,
+        conflict_mode=engine.conflict_mode,
+        shared=shared,
+        rulebook_size=len(queries),
     )
 
 

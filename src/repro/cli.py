@@ -69,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(SYSTEM_NAMES) + ["RapidFlow"])
     run_p.add_argument("--dataset", default="FR", choices=datasets.TABLE1_ORDER)
     run_p.add_argument("--query", default="Q1", choices=QUERY_ORDER)
+    run_p.add_argument("--rulebook", default=None, metavar="SPEC",
+                       help="match a whole rulebook instead of --query: a "
+                            "file (JSON or one entry per line) or an inline "
+                            "comma list of catalog entries (Q1..Q6, "
+                            "motifs:K, motifs:A-B); runs the multi-query "
+                            "engine with shared trie execution")
+    run_p.add_argument("--no-shared", dest="shared", action="store_false",
+                       help="with --rulebook: per-query independent "
+                            "execution instead of the shared trie (the "
+                            "parity/ablation baseline)")
     run_p.add_argument("--batch-size", type=int, default=None)
     run_p.add_argument("--batches", type=int, default=1)
     run_p.add_argument("--seed", type=int, default=0)
@@ -164,7 +174,54 @@ def _cmd_list_queries() -> int:
     return 0
 
 
+def _cmd_run_rulebook(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_rulebook_stream
+    from repro.query.catalog import load_rulebook
+
+    if args.system != "GCSM":
+        print(f"--rulebook only applies to GCSM, not {args.system}", file=sys.stderr)
+        return 2
+    if args.devices is not None:
+        print("--rulebook and --devices are mutually exclusive", file=sys.stderr)
+        return 2
+    extra: dict = {}
+    if args.executor != DEFAULT_EXECUTOR:
+        extra["executor"] = args.executor
+    if args.estimator != DEFAULT_ESTIMATOR:
+        extra["estimator"] = args.estimator
+    if args.conflict_mode is not None:
+        extra["conflict_mode"] = args.conflict_mode
+    try:
+        queries = load_rulebook(args.rulebook)
+        result = run_rulebook_stream(
+            args.dataset, queries, shared=args.shared,
+            batch_size=args.batch_size, num_batches=args.batches, seed=args.seed,
+            **extra,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
+    bd = result.breakdown
+    print(result.describe())
+    print(f"  rulebook          : {result.rulebook_size} queries, "
+          f"shared={result.shared}")
+    print(f"  ΔM total          : {result.delta_total:+d}")
+    print(f"  embeddings emitted: {result.embeddings_total}")
+    print(f"  per-batch phases  : update {format_time_ns(bd.update_ns)}, "
+          f"FE {format_time_ns(bd.estimate_ns)}, DC {format_time_ns(bd.pack_ns)}, "
+          f"match {format_time_ns(bd.match_ns)}, reorg {format_time_ns(bd.reorg_ns)}")
+    if result.cache_hit_rate is not None:
+        print(f"  cache hit rate    : {result.cache_hit_rate:.2f} "
+              f"({format_bytes(result.cache_bytes)} cached)")
+    if args.json:
+        save_records([ExperimentRecord.from_run(result)], args.json)
+        print(f"  record written to {args.json}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.rulebook is not None:
+        return _cmd_run_rulebook(args)
     extra: dict = {}
     if args.executor != DEFAULT_EXECUTOR:
         extra["executor"] = args.executor

@@ -41,9 +41,9 @@ import numpy as np
 from repro.core.matching import MatchStats, _merge_runs
 from repro.gpu.views import GraphView
 from repro.query.pattern import WILDCARD_LABEL
-from repro.query.plan import EdgeVersion, MatchPlan
+from repro.query.plan import EdgeVersion, LevelPlan, MatchPlan
 
-__all__ = ["FrontierExecutor", "segmented_contains"]
+__all__ = ["FrontierKernel", "FrontierExecutor", "segmented_contains"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -83,28 +83,26 @@ def segmented_contains(
     return out
 
 
-class FrontierExecutor:
-    """Level-synchronous execution of one plan over all of its roots.
+class FrontierKernel:
+    """Plan-agnostic level-expansion context: view + labels + merge pool.
 
-    Drop-in peer of the recursive ``_PlanExecutor``: same constructor
-    signature, same view/counters contract, bit-identical stats.
+    One kernel instance can expand levels of *any* plan against the same
+    frozen adjacency — :class:`FrontierExecutor` binds one to a single plan,
+    while the multi-query execution trie
+    (:mod:`repro.core.querytrie`) drives one kernel across the whole
+    rulebook so a level shared by many plans is expanded exactly once.
     """
 
     def __init__(
         self,
-        plan: MatchPlan,
         view: GraphView,
         labels: np.ndarray,
-        sink,
         filters: dict[int, np.ndarray] | None = None,
         pool: dict[tuple[int, bool], np.ndarray] | None = None,
     ) -> None:
-        self.plan = plan
         self.view = view
         self.labels = labels
-        self.sink = sink
         self.filters = filters or {}
-        self.stats = MatchStats()
         # merged-array memo: one merged object per (vertex, version family).
         # ``pool`` may be shared across the plans of one batch — the graph is
         # frozen between apply_batch and reorganize, so merged contents are
@@ -141,8 +139,11 @@ class FrontierExecutor:
         return starts_u[inv], lens_u[inv], flat
 
     # ------------------------------------------------------------------
-    def _level_candidates(
-        self, level_index: int, rows: np.ndarray
+    def level_candidates(
+        self,
+        lvl: LevelPlan,
+        rows: np.ndarray,
+        active: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Candidates for one level across the whole frontier.
 
@@ -152,8 +153,18 @@ class FrontierExecutor:
         smallest-list-first constraint order, first-list materialization,
         per-intersection ``len(a)+len(b)`` ops, filter/label/injectivity
         masks, and the final per-candidate charge for surviving rows.
+
+        ``active`` is the mask hook for shared multi-query execution: a
+        boolean row mask restricting expansion (and every recorded charge)
+        to the rows whose query-set bitmask covers this level's branch.
+        Inactive rows contribute zero candidates and zero charges — exactly
+        as if they had been filtered out of ``rows`` beforehand.
         """
-        lvl = self.plan.levels[level_index]
+        if active is not None and not bool(active.all()):
+            sub_flat, sub_cnt = self.level_candidates(lvl, rows[active])
+            cand_cnt = np.zeros(rows.shape[0], dtype=np.int64)
+            cand_cnt[active] = sub_cnt
+            return sub_flat, cand_cnt
         cons = lvl.constraints
         view = self.view
         counters = view.counters
@@ -239,6 +250,28 @@ class FrontierExecutor:
         counters.record_compute(int(cand_cnt.sum()))
         return cand_flat, cand_cnt
 
+
+class FrontierExecutor(FrontierKernel):
+    """Level-synchronous execution of one plan over all of its roots.
+
+    Drop-in peer of the recursive ``_PlanExecutor``: same constructor
+    signature, same view/counters contract, bit-identical stats.
+    """
+
+    def __init__(
+        self,
+        plan: MatchPlan,
+        view: GraphView,
+        labels: np.ndarray,
+        sink,
+        filters: dict[int, np.ndarray] | None = None,
+        pool: dict[tuple[int, bool], np.ndarray] | None = None,
+    ) -> None:
+        super().__init__(view, labels, filters, pool)
+        self.plan = plan
+        self.sink = sink
+        self.stats = MatchStats()
+
     # ------------------------------------------------------------------
     def _inverse_order(self) -> np.ndarray:
         order = self.plan.order
@@ -273,7 +306,7 @@ class FrontierExecutor:
         sign = signs
         last_index = len(self.plan.levels) - 1
         for li in range(len(self.plan.levels)):
-            cand_flat, cand_cnt = self._level_candidates(li, rows)
+            cand_flat, cand_cnt = self.level_candidates(self.plan.levels[li], rows)
             total = int(cand_cnt.sum())
             if li == last_index:
                 stats.signed_count += int((sign * cand_cnt).sum())

@@ -7,22 +7,45 @@ graph update, frequency estimation, DCSR packing, DMA, and reorganization
 once per pattern.  :class:`MultiQueryEngine` shares all of it:
 
 * one dynamic graph, updated and reorganized once per batch;
-* one **pooled frequency estimate** — the walk budget is split across all
-  queries' delta plans and the per-vertex estimates summed, which is the
-  right statistic because the kernel's total access frequency over the
-  batch is the sum over queries (each estimate is unbiased for its query's
-  accesses, so the pooled estimate is unbiased for the union workload);
-* one DCSR cache and one DMA, then each query's incremental plans execute
-  against the shared cached view.
+* one **pooled frequency estimate** — the walk budget is split exactly
+  across all queries' delta plans and the per-vertex estimates summed,
+  which is the right statistic because the kernel's total access frequency
+  over the batch is the sum over queries (each estimate is unbiased for its
+  query's accesses, so the pooled estimate is unbiased for the union
+  workload);
+* one DCSR cache and one DMA, then the rulebook executes against the
+  shared cached view.
+
+Beyond the shared pre-kernel phases, the engine shares the **kernel**
+itself (``shared=True``, the default):
+
+* queries are lexsorted by name, then deduped by
+  :func:`~repro.query.symmetry.canonical_form` — isomorphic standing
+  patterns have identical ΔM on every batch, so only the lexicographically
+  first member of each class (its *representative*) is matched, and every
+  alias receives the representative's ΔM (with sink embeddings remapped
+  through :func:`~repro.query.symmetry.find_isomorphism`);
+* the representatives' ΔM plans are grouped into an
+  :class:`~repro.core.querytrie.ExecutionTrie` by common signature
+  prefixes, and one masked frontier expansion per trie node serves every
+  plan sharing that prefix — candidate enumeration and its access charges
+  are paid once per *distinct* prefix, not once per query.
+
+``shared=False`` runs the classic per-query loop against the same shared
+cache — the baseline the trie is validated against.  Either way the result
+carries **per-query attributed counters** that are bit-identical between
+the two modes for representatives (the sharing contract of
+:mod:`repro.core.querytrie`), while the engine-level ``match_counters``
+price only the work actually executed — their gap is the modeled saving.
 
 Amortization grows with the number of patterns; the multi-query ablation
-bench quantifies it against per-pattern engines.
+bench quantifies it against per-pattern engines and across rulebook sizes.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,7 +57,9 @@ from repro.core.frequency import (
     default_num_walks,
     make_estimator,
 )
+from repro.core.frontier import FrontierKernel
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
+from repro.core.querytrie import ExecutionTrie, SharedTrieExecutor, TrieStats
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
@@ -43,9 +68,26 @@ from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
 from repro.query.pattern import QueryGraph
 from repro.query.plan import compile_delta_plans
+from repro.query.symmetry import canonical_form, find_isomorphism
 from repro.utils import as_generator, require, spawn_generator
 
-__all__ = ["MultiQueryEngine", "MultiBatchResult"]
+__all__ = ["MultiQueryEngine", "MultiBatchResult", "split_walk_budget"]
+
+
+def split_walk_budget(total_walks: int, num_queries: int) -> list[int]:
+    """Split a walk budget so per-query counts sum *exactly* to the budget.
+
+    The first ``total_walks % num_queries`` queries receive one extra walk,
+    so ``sum == total_walks`` always — no rounding drift at large rulebook
+    sizes (the old ``total // n`` floor under-spent up to ``n - 1`` walks).
+    Degenerate budgets below one walk per query are raised to one each (the
+    estimator needs at least one walk to be defined), which is the only
+    case where the sum exceeds the request.
+    """
+    require(num_queries >= 1, "need at least one query")
+    total_walks = max(int(total_walks), num_queries)
+    base, extra = divmod(total_walks, num_queries)
+    return [base + (1 if i < extra else 0) for i in range(num_queries)]
 
 
 @dataclass
@@ -53,8 +95,13 @@ class MultiBatchResult:
     """Per-batch outcome across all monitored queries.
 
     ``delta_counts[name]`` is each query's signed ΔM; the breakdown's
-    update/estimate/pack/reorg phases are *shared* (paid once), while
-    ``match_ns`` sums the per-query kernel times.
+    update/estimate/pack/reorg phases are *shared* (paid once).  Under
+    shared trie execution ``match_counters`` price each shared expansion
+    once (that is what ``match_ns`` is computed from), while
+    ``match_counters_by_query`` attribute every charge back to each member
+    query — bit-identical to what that query's independent execution would
+    record.  ``aliases`` maps deduped query names to the isomorphic
+    representative that was actually matched on their behalf.
     """
 
     delta_counts: dict[str, int]
@@ -66,14 +113,38 @@ class MultiBatchResult:
     cache_bytes: int
     cache_hits: int
     cache_misses: int
+    shared: bool = True
+    match_counters_by_query: dict[str, AccessCounters] | None = None
+    aliases: dict[str, str] = field(default_factory=dict)
+    trie_stats: TrieStats | None = None
 
     @property
     def total_delta(self) -> int:
         return sum(self.delta_counts.values())
 
 
+def _copy_counters(counters: AccessCounters) -> AccessCounters:
+    fresh = AccessCounters()
+    fresh.merge(counters)
+    return fresh
+
+
+def _copy_stats(stats: MatchStats) -> MatchStats:
+    return MatchStats(
+        signed_count=stats.signed_count,
+        embeddings_found=stats.embeddings_found,
+        roots_processed=stats.roots_processed,
+        tree_nodes=stats.tree_nodes,
+    )
+
+
 class MultiQueryEngine:
-    """Continuously match a set of patterns with shared per-batch work."""
+    """Continuously match a set of patterns with shared per-batch work.
+
+    Queries are lexsorted by name at construction, so trie layout,
+    execution order, result-dict order, and sink order are all independent
+    of the caller's dict/list insertion order.
+    """
 
     def __init__(
         self,
@@ -88,6 +159,8 @@ class MultiQueryEngine:
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        shared: bool = True,
+        attribute_counters: bool = True,
     ) -> None:
         require(len(queries) >= 1, "need at least one query")
         names = [q.name for q in queries]
@@ -99,8 +172,9 @@ class MultiQueryEngine:
             else self.device.cache_buffer_bytes
         )
         self.graph = DynamicGraph(initial_graph)
-        self.queries = list(queries)
-        self.plans = {q.name: compile_delta_plans(q) for q in queries}
+        # deterministic rulebook order: lexsort by query name
+        self.queries = sorted(queries, key=lambda q: q.name)
+        self.plans = {q.name: compile_delta_plans(q) for q in self.queries}
         self.num_walks = num_walks
         rng = as_generator(seed)
         self.estimator = make_estimator(
@@ -111,25 +185,58 @@ class MultiQueryEngine:
         self.policy = FrequencyCachePolicy()
         self.executor = executor
         self.conflict_mode = conflict_mode
+        self.shared = shared
+        self.attribute_counters = attribute_counters
         self.batches_processed = 0
+
+        # -- symmetry dedupe: one representative per isomorphism class ------
+        # (lexsorted order makes the representative the lexicographically
+        # first member, deterministically)
+        self.canonical_of: dict[str, str] = {}
+        #: alias name -> permutation σ with σ[u_rep] = u_alias
+        self._alias_iso: dict[str, tuple[int, ...]] = {}
+        by_form: dict[tuple, QueryGraph] = {}
+        for q in self.queries:
+            form = canonical_form(q)
+            rep = by_form.get(form)
+            if rep is None:
+                by_form[form] = q
+                self.canonical_of[q.name] = q.name
+            else:
+                self.canonical_of[q.name] = rep.name
+                iso = find_isomorphism(rep, q)
+                assert iso is not None, "canonical forms equal but no isomorphism"
+                self._alias_iso[q.name] = iso
+        self.representatives = [
+            q for q in self.queries if self.canonical_of[q.name] == q.name
+        ]
+        self.trie = ExecutionTrie(
+            {q.name: self.plans[q.name] for q in self.representatives}
+        )
 
     # ------------------------------------------------------------------
     def _pooled_estimate(self, batch: UpdateBatch) -> EstimationResult:
-        """Sum per-query unbiased estimates into one workload estimate."""
+        """Sum per-query unbiased estimates into one workload estimate.
+
+        Iterates *all* queries (aliases included) in lexsorted order in both
+        execution modes, so the pooled frequencies — and therefore the cache
+        contents every downstream counter depends on — are bit-identical
+        between shared and independent runs.
+        """
         max_degree = max(1, self.graph.max_degree())
         largest = max(q.num_vertices for q in self.queries)
         total_walks = self.num_walks or default_num_walks(
             len(batch), max_degree, largest
         )
-        per_query = max(64, total_walks // len(self.queries))
+        budget = split_walk_budget(total_walks, len(self.queries))
         pooled: np.ndarray | None = None
         counters = AccessCounters()
         nodes = 0
         walks = 0
-        for query in self.queries:
+        for query, query_walks in zip(self.queries, budget):
             result = self.estimator.estimate(
                 self.plans[query.name], batch,
-                num_walks=per_query, max_degree=max_degree,
+                num_walks=query_walks, max_degree=max_degree,
             )
             pooled = result.frequencies if pooled is None else pooled + result.frequencies
             counters.merge(result.counters)
@@ -138,11 +245,118 @@ class MultiQueryEngine:
         assert pooled is not None
         return EstimationResult(pooled, walks, nodes, counters)
 
-    def process_batch(self, batch: UpdateBatch) -> MultiBatchResult:
-        """One shared pipeline pass; every query matched incrementally."""
+    # ------------------------------------------------------------------
+    def _match_independent(
+        self,
+        batch: UpdateBatch,
+        view: CachedDeviceView,
+        match_counters: AccessCounters,
+        sinks: dict,
+    ) -> tuple[dict[str, MatchStats], dict[str, AccessCounters]]:
+        """Baseline: every query runs its own full plan execution.
+
+        Each query's charges land in a private counter (swapped into the
+        shared view for the duration of its ``match_batch``) and are then
+        merged into the engine total — additive, so the totals equal the
+        classic single-counter accumulation exactly.
+        """
+        match_stats: dict[str, MatchStats] = {}
+        per_query: dict[str, AccessCounters] = {}
+        saved = view.counters
+        try:
+            for query in self.queries:
+                pq = AccessCounters()
+                view.counters = pq
+                match_stats[query.name] = match_batch(
+                    self.plans[query.name], batch, view,
+                    sink=sinks.get(query.name), executor=self.executor,
+                )
+                per_query[query.name] = pq
+                match_counters.merge(pq)
+        finally:
+            view.counters = saved
+        return match_stats, per_query
+
+    def _match_shared(
+        self,
+        batch: UpdateBatch,
+        view: CachedDeviceView,
+        match_counters: AccessCounters,
+        sinks: dict,
+    ) -> tuple[dict[str, MatchStats], dict[str, AccessCounters] | None]:
+        """One trie walk over the representatives; aliases copy results.
+
+        The trie always drives the frontier kernel — by the executor parity
+        contract (PR 3) its per-query attributed counters and stats are
+        bit-identical to an independent run under either executor, so the
+        ``executor=`` knob only changes how the *independent* baseline runs.
+        """
+        # aliases receive the representative's embeddings remapped through
+        # the stored isomorphism; the representative's own sink (if any)
+        # sees its emission order unchanged
+        fanout: dict[str, list] = {}
+        for name, sink in sinks.items():
+            rep = self.canonical_of[name]
+            if rep == name:
+                fanout.setdefault(rep, []).append((sink, None))
+            else:
+                iso = self._alias_iso[name]
+                inv = [0] * len(iso)
+                for u_rep, u_alias in enumerate(iso):
+                    inv[u_alias] = u_rep
+                fanout.setdefault(rep, []).append((sink, tuple(inv)))
+        rep_sinks: dict[str, object] = {}
+        for rep, targets in fanout.items():
+            def _fan(emb, sign, targets=targets):
+                for sink, inv in targets:
+                    if inv is None:
+                        sink(emb, sign)
+                    else:
+                        sink(tuple(emb[u] for u in inv), sign)
+            rep_sinks[rep] = _fan
+
+        per_query = (
+            {q.name: AccessCounters() for q in self.representatives}
+            if self.attribute_counters
+            else None
+        )
+        kernel = FrontierKernel(view, self.graph.labels)
+        shared_exec = SharedTrieExecutor(
+            self.trie, kernel, self.graph.labels,
+            shared_counters=match_counters,
+            per_query_counters=per_query,
+            sinks=rep_sinks,
+        )
+        rep_stats = shared_exec.run(batch)
+
+        match_stats: dict[str, MatchStats] = {}
+        for query in self.queries:
+            rep = self.canonical_of[query.name]
+            if rep == query.name:
+                match_stats[query.name] = rep_stats[query.name]
+            else:
+                # ΔM and embedding counts are isomorphism invariants;
+                # stats/counters mirror the representative's execution
+                match_stats[query.name] = _copy_stats(rep_stats[rep])
+                if per_query is not None:
+                    per_query[query.name] = _copy_counters(per_query[rep])
+        return match_stats, per_query
+
+    # ------------------------------------------------------------------
+    def process_batch(
+        self, batch: UpdateBatch, *, sinks: dict | None = None
+    ) -> MultiBatchResult:
+        """One shared pipeline pass; every query matched incrementally.
+
+        ``sinks`` optionally maps query names to embedding sinks
+        ``(embedding, sign) -> None``; under shared execution an alias sink
+        receives the representative's embeddings remapped to the alias's
+        vertex numbering.
+        """
         require(len(batch) > 0, "empty batch")
         graph = self.graph
         breakdown = TimeBreakdown()
+        sinks = sinks or {}
 
         # -- shared step 1: update -----------------------------------------
         raw_len = len(batch)  # the CPU scans (and classifies) every raw update
@@ -171,17 +385,18 @@ class MultiQueryEngine:
         dma_ns = DmaEngine(self.device, dma).transfer(cache.total_bytes)
         breakdown.pack_ns = simulated_time_ns(pack, self.device, platform="cpu") + dma_ns
 
-        # -- step 4: per-query matching against the shared cache --------------
+        # -- step 4: rulebook matching against the shared cache ---------------
         match_counters = AccessCounters()
         view = CachedDeviceView(graph, self.device, match_counters, cache)
-        delta_counts: dict[str, int] = {}
-        match_stats: dict[str, MatchStats] = {}
-        for query in self.queries:
-            stats = match_batch(
-                self.plans[query.name], batch, view, executor=self.executor
+        if self.shared:
+            match_stats, per_query = self._match_shared(
+                batch, view, match_counters, sinks
             )
-            delta_counts[query.name] = stats.signed_count
-            match_stats[query.name] = stats
+        else:
+            match_stats, per_query = self._match_independent(
+                batch, view, match_counters, sinks
+            )
+        delta_counts = {name: st.signed_count for name, st in match_stats.items()}
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
 
         # -- shared step 5: reorganize ----------------------------------------
@@ -202,6 +417,12 @@ class MultiQueryEngine:
             cache_bytes=cache.total_bytes,
             cache_hits=view.hits,
             cache_misses=view.misses,
+            shared=self.shared,
+            match_counters_by_query=per_query,
+            aliases={
+                name: rep for name, rep in self.canonical_of.items() if name != rep
+            },
+            trie_stats=self.trie.stats if self.shared else None,
         )
 
     def snapshot(self) -> StaticGraph:

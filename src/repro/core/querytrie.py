@@ -1,0 +1,386 @@
+"""Shared multi-query execution trie (rulebook-scale matching).
+
+Production CSM evaluates a *rulebook* of standing patterns per batch, and
+independent execution repeats the expensive part — frontier expansion —
+once per pattern even when patterns overlap heavily.  This module groups
+the rulebook's compiled ΔM plans by common prefixes of their **execution
+signatures** (:func:`repro.query.plan.plan_signature`) into a trie:
+
+* The root layer groups plans by :func:`~repro.query.plan.root_signature`
+  (the root-edge label pair), so plans sharing a root iterate one
+  ``delta_roots`` array.
+* Each deeper trie node is one :func:`~repro.query.plan.level_signature` —
+  a binding step that is *behaviorally identical* across every plan
+  passing through the node.  The shared executor expands the node's
+  frontier **once** (one gather, one sorted-set intersection pass, one
+  ``record_access_block`` charge into the shared counters) and every
+  member plan consumes the result.
+* Frontier rows carry interned **query-set bitmasks**
+  (:class:`QuerySetMasks`) that narrow at branch points: descending into a
+  child intersects each row's query set with the child's members, and only
+  rows whose mask still covers the branch stay active in
+  ``level_candidates`` (the ``active`` row mask).  Under strict structural
+  sharing — the only sharing this trie performs — every surviving row
+  covers the whole branch, so masks are uniform per node; the machinery is
+  what label-relaxed sharing would extend per row.
+
+Exactness contract (validated by ``tests/test_multiquery_shared.py`` and
+the adversarial-stream fuzzer):
+
+* **ΔM, MatchStats, and sink order are bit-identical per plan** to
+  independent execution, because two plans sharing a prefix produce
+  bit-identical frontiers over that prefix (that is what the signatures
+  capture), and emissions stay per-plan.
+* **Attributed per-query counters are bit-identical**: every node charge
+  is additionally replayed into the counters of each member plan's query,
+  reproducing exactly what that query's independent ``match_batch`` would
+  have recorded.  The *shared* counters — which price the kernel's
+  simulated time — receive each node charge once; their gap to the summed
+  attributed counters is the modeled saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.frontier import FrontierKernel
+from repro.core.matching import MatchStats, delta_roots
+from repro.gpu.counters import AccessCounters
+from repro.query.plan import LevelPlan, MatchPlan, level_signature, root_signature
+
+__all__ = [
+    "PlanRef",
+    "TrieNode",
+    "ExecutionTrie",
+    "TrieStats",
+    "QuerySetMasks",
+    "SharedTrieExecutor",
+]
+
+
+@dataclass(frozen=True)
+class PlanRef:
+    """One ΔM plan of one named query (the trie's unit of membership)."""
+
+    query_name: str
+    plan: MatchPlan
+
+
+class TrieNode:
+    """One shared binding step (or a root-signature group for depth 0)."""
+
+    __slots__ = ("key", "level", "children", "members", "terminal")
+
+    def __init__(self, key: tuple, level: LevelPlan | None) -> None:
+        self.key = key
+        self.level = level
+        #: insertion-ordered — construction iterates queries in lexsorted
+        #: name order and plans in delta order, so execution order (and
+        #: therefore buffered sink order) is deterministic
+        self.children: dict[tuple, TrieNode] = {}
+        #: every plan whose path passes through this node (one entry per
+        #: plan, so a query contributing two identically-shaped plans is
+        #: attributed twice — exactly as independent execution charges it)
+        self.members: list[PlanRef] = []
+        #: plans whose final level is this node (depth-2 plans terminate at
+        #: the root-signature node itself)
+        self.terminal: list[PlanRef] = []
+
+
+@dataclass
+class TrieStats:
+    """Sharing accounting for reporting and benchmarks."""
+
+    num_queries: int = 0
+    num_plans: int = 0
+    total_levels: int = 0  # sum of plan depths beyond the root edge
+    expanded_levels: int = 0  # trie nodes actually expanded
+    root_groups: int = 0  # distinct root signatures
+
+    @property
+    def shared_levels(self) -> int:
+        """Level expansions independent execution would pay that the trie
+        does not."""
+        return self.total_levels - self.expanded_levels
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of level expansions eliminated by prefix sharing."""
+        return self.shared_levels / self.total_levels if self.total_levels else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "num_queries": self.num_queries,
+            "num_plans": self.num_plans,
+            "total_levels": self.total_levels,
+            "expanded_levels": self.expanded_levels,
+            "root_groups": self.root_groups,
+            "shared_levels": self.shared_levels,
+            "sharing_ratio": self.sharing_ratio,
+        }
+
+
+class ExecutionTrie:
+    """Prefix trie over the execution signatures of a rulebook's plans.
+
+    ``plans_by_query`` must iterate queries in the rulebook's canonical
+    (lexsorted-name) order; the trie preserves that order in its insertion-
+    ordered children, which is what makes shared execution deterministic
+    across dict-insertion orders of the caller.
+    """
+
+    def __init__(self, plans_by_query: dict[str, list[MatchPlan]]) -> None:
+        self.roots: dict[tuple, TrieNode] = {}
+        num_plans = 0
+        total_levels = 0
+        for name, plans in plans_by_query.items():
+            for plan in plans:
+                ref = PlanRef(name, plan)
+                num_plans += 1
+                total_levels += len(plan.levels)
+                rsig = root_signature(plan)
+                node = self.roots.get(rsig)
+                if node is None:
+                    node = self.roots[rsig] = TrieNode(rsig, None)
+                node.members.append(ref)
+                for lvl in plan.levels:
+                    key = level_signature(lvl)
+                    child = node.children.get(key)
+                    if child is None:
+                        child = node.children[key] = TrieNode(key, lvl)
+                    child.members.append(ref)
+                    node = child
+                node.terminal.append(ref)
+        self.stats = TrieStats(
+            num_queries=len(plans_by_query),
+            num_plans=num_plans,
+            total_levels=total_levels,
+            expanded_levels=self._count_level_nodes(),
+            root_groups=len(self.roots),
+        )
+
+    def _count_level_nodes(self) -> int:
+        count = 0
+        stack = [c for root in self.roots.values() for c in root.children.values()]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+
+class QuerySetMasks:
+    """Interned query-set bitmasks carried by shared-frontier rows.
+
+    A mask is an arbitrary-width Python integer with bit ``i`` set when the
+    row still serves query ``i`` (rulebook order), stored per row as an
+    index into an intern table so frontier columns stay plain ``int64``
+    arrays regardless of rulebook size.
+    """
+
+    def __init__(self, query_names: list[str]) -> None:
+        self._bit = {name: 1 << i for i, name in enumerate(query_names)}
+        self._table: list[int] = []
+        self._ids: dict[int, int] = {}
+
+    def bits_of(self, names: list[str]) -> int:
+        bits = 0
+        for name in names:
+            bits |= self._bit[name]
+        return bits
+
+    def intern(self, bits: int) -> int:
+        mid = self._ids.get(bits)
+        if mid is None:
+            mid = len(self._table)
+            self._table.append(bits)
+            self._ids[bits] = mid
+        return mid
+
+    def row_active(self, mask_ids: np.ndarray, branch_bits: int) -> np.ndarray:
+        """Boolean row mask: which rows' query sets intersect the branch."""
+        lut = np.fromiter(
+            ((m & branch_bits) != 0 for m in self._table),
+            dtype=bool,
+            count=len(self._table),
+        )
+        return lut[mask_ids]
+
+    def narrowed(self, mask_ids: np.ndarray, branch_bits: int) -> np.ndarray:
+        """Per-row mask ids after intersecting with the branch's query set."""
+        lut = np.fromiter(
+            (self.intern(m & branch_bits) for m in list(self._table)),
+            dtype=np.int64,
+            count=len(self._table),
+        )
+        return lut[mask_ids]
+
+
+class SharedTrieExecutor:
+    """Execute a rulebook's trie with one shared frontier per path.
+
+    ``shared_counters`` receives every expansion charge exactly once (the
+    kernel's actual modeled traffic); ``per_query_counters`` — when
+    provided — receives each node's charges once per member plan, which
+    reconstructs bit-identically what each query's independent execution
+    would record.  Emissions (output charges, stats, sink tuples) are
+    always per-plan.
+
+    Sink tuples are buffered per ``(query, delta_index)`` and flushed in
+    plan order after the walk, so each query's sink observes exactly the
+    emission order of its own independent ``match_batch``.
+    """
+
+    def __init__(
+        self,
+        trie: ExecutionTrie,
+        kernel: FrontierKernel,
+        labels: np.ndarray,
+        *,
+        shared_counters: AccessCounters,
+        per_query_counters: dict[str, AccessCounters] | None = None,
+        sinks: dict[str, object] | None = None,
+    ) -> None:
+        self.trie = trie
+        self.kernel = kernel
+        self.labels = labels
+        self.shared_counters = shared_counters
+        self.per_query_counters = per_query_counters
+        self.sinks = sinks or {}
+        self.stats: dict[str, MatchStats] = {}
+        self._buffers: dict[tuple[str, int], list] = {}
+        query_names: list[str] = []
+        for root in trie.roots.values():
+            for ref in root.members:
+                if ref.query_name not in self.stats:
+                    self.stats[ref.query_name] = MatchStats()
+                    query_names.append(ref.query_name)
+        self.masks = QuerySetMasks(query_names)
+
+    # ------------------------------------------------------------------
+    def run(self, batch) -> dict[str, MatchStats]:
+        for node in self.trie.roots.values():
+            ref0 = node.members[0]
+            roots, signs = delta_roots(ref0.plan, batch, self.labels)
+            n = int(roots.shape[0])
+            for ref in node.members:
+                st = self.stats[ref.query_name]
+                st.roots_processed += n
+                st.tree_nodes += n
+            for ref in node.terminal:  # depth-2 plans: the root edge is all
+                self._emit_root(ref, roots, signs)
+            if n and node.children:
+                rows = roots.astype(np.int64, copy=False)
+                sign = signs.astype(np.int64, copy=False)
+                bits = self.masks.bits_of([r.query_name for r in node.members])
+                mask_ids = np.full(n, self.masks.intern(bits), dtype=np.int64)
+                self._descend(node, rows, sign, mask_ids)
+        self._flush_sinks()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _charge(self, refs: list[PlanRef], counters: AccessCounters) -> None:
+        """One shared charge, attributed once per member plan."""
+        self.shared_counters.merge(counters)
+        if self.per_query_counters is not None:
+            for ref in refs:
+                self.per_query_counters[ref.query_name].merge(counters)
+
+    def _descend(
+        self,
+        node: TrieNode,
+        rows: np.ndarray,
+        sign: np.ndarray,
+        mask_ids: np.ndarray,
+    ) -> None:
+        view = self.kernel.view
+        for child in node.children.values():
+            branch_bits = self.masks.bits_of([r.query_name for r in child.members])
+            active = self.masks.row_active(mask_ids, branch_bits)
+            node_counters = AccessCounters()
+            saved = view.counters
+            view.counters = node_counters
+            try:
+                cand_flat, cand_cnt = self.kernel.level_candidates(
+                    child.level, rows, active
+                )
+            finally:
+                view.counters = saved
+            self._charge(child.members, node_counters)
+            total = int(cand_cnt.sum())
+            for ref in child.members:
+                self.stats[ref.query_name].tree_nodes += total
+            for ref in child.terminal:
+                self._emit(ref, rows, sign, cand_flat, cand_cnt, total)
+            if total and child.children:
+                next_rows = np.concatenate(
+                    [np.repeat(rows, cand_cnt, axis=0), cand_flat[:, None]], axis=1
+                )
+                next_sign = np.repeat(sign, cand_cnt)
+                next_mask = np.repeat(
+                    self.masks.narrowed(mask_ids, branch_bits), cand_cnt
+                )
+                self._descend(child, next_rows, next_sign, next_mask)
+
+    # ------------------------------------------------------------------
+    def _output_charges(self, ref: PlanRef, total: int) -> None:
+        depth = ref.plan.depth
+        self.shared_counters.record_output(total)
+        self.shared_counters.record_compute(total * depth)
+        if self.per_query_counters is not None:
+            pq = self.per_query_counters[ref.query_name]
+            pq.record_output(total)
+            pq.record_compute(total * depth)
+
+    def _emit_root(self, ref: PlanRef, roots: np.ndarray, signs: np.ndarray) -> None:
+        n = int(roots.shape[0])
+        st = self.stats[ref.query_name]
+        st.signed_count += int(signs.sum())
+        st.embeddings_found += n
+        self._output_charges(ref, n)
+        if ref.query_name in self.sinks and n:
+            emb = roots[:, _inverse_order(ref.plan)]
+            self._buffer(ref, emb, signs.astype(np.int64, copy=False))
+
+    def _emit(
+        self,
+        ref: PlanRef,
+        rows: np.ndarray,
+        sign: np.ndarray,
+        cand_flat: np.ndarray,
+        cand_cnt: np.ndarray,
+        total: int,
+    ) -> None:
+        st = self.stats[ref.query_name]
+        st.signed_count += int((sign * cand_cnt).sum())
+        st.embeddings_found += total
+        self._output_charges(ref, total)
+        if ref.query_name in self.sinks and total:
+            full = np.concatenate(
+                [np.repeat(rows, cand_cnt, axis=0), cand_flat[:, None]], axis=1
+            )[:, _inverse_order(ref.plan)]
+            self._buffer(ref, full, np.repeat(sign, cand_cnt))
+
+    def _buffer(self, ref: PlanRef, emb: np.ndarray, signs: np.ndarray) -> None:
+        key = (ref.query_name, ref.plan.delta_index or 0)
+        self._buffers.setdefault(key, []).append((emb, signs))
+
+    def _flush_sinks(self) -> None:
+        """Deliver buffered emissions per query in plan (ΔM index) order."""
+        for (name, _), chunks in sorted(
+            self._buffers.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            sink = self.sinks[name]
+            for emb, signs in chunks:
+                for e, s in zip(emb.tolist(), signs.tolist()):
+                    sink(tuple(e), int(s))
+
+
+def _inverse_order(plan: MatchPlan) -> np.ndarray:
+    order = plan.order
+    inverse = np.empty(len(order), dtype=np.int64)
+    for pos, u in enumerate(order):
+        inverse[u] = pos
+    return inverse

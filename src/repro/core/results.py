@@ -53,6 +53,9 @@ class ExperimentRecord:
     imbalance: float | None = None
     #: per-batch shard load-balance reports (``LoadBalanceReport.to_dict()``)
     load_balance: list = field(default_factory=list)
+    # -- multi-query (rulebook) extras (None for single-query records) -----
+    shared: bool | None = None
+    rulebook_size: int | None = None
 
     @classmethod
     def from_run(cls, run) -> "ExperimentRecord":
@@ -84,6 +87,8 @@ class ExperimentRecord:
             peer_bytes=getattr(run, "peer_bytes", 0),
             imbalance=getattr(run, "imbalance", None),
             load_balance=list(getattr(run, "load_balance", []) or []),
+            shared=getattr(run, "shared", None),
+            rulebook_size=getattr(run, "rulebook_size", None),
         )
 
     def to_dict(self) -> dict:
@@ -113,6 +118,8 @@ class ExperimentRecord:
             "peer_bytes": self.peer_bytes,
             "imbalance": self.imbalance,
             "load_balance": self.load_balance,
+            "shared": self.shared,
+            "rulebook_size": self.rulebook_size,
         }
 
     @classmethod

@@ -36,6 +36,8 @@ __all__ = [
     "VerificationReport",
     "ConsistencyError",
     "verify_stream",
+    "verify_rulebook",
+    "RulebookParityReport",
     "generate_adversarial_stream",
     "fuzz_verify",
     "FuzzReport",
@@ -186,6 +188,123 @@ def verify_stream(
                 )
             prev_count = now
         report.delta_per_batch.append(delta)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Shared-rulebook parity verification
+# ----------------------------------------------------------------------
+@dataclass
+class RulebookParityReport:
+    """Outcome of one shared-vs-independent rulebook verification."""
+
+    num_queries: int
+    num_batches: int
+    executors: list[str]
+    aliases: dict[str, str] = field(default_factory=dict)
+    delta_per_batch: list[int] = field(default_factory=list)
+
+    @property
+    def total_delta(self) -> int:
+        return sum(self.delta_per_batch)
+
+    def describe(self) -> str:
+        dedup = f", {len(self.aliases)} deduped as isomorphic aliases" if self.aliases else ""
+        return (
+            f"shared trie matches {len(self.executors)} independent "
+            f"executor legs on {self.num_queries} queries over "
+            f"{self.num_batches} batches{dedup}; total ΔM = {self.total_delta:+d}"
+        )
+
+
+def _counters_equal(a, b) -> bool:
+    if a.summary() != b.summary():
+        return False
+    ha, hb = a.vertex_access_counts(), b.vertex_access_counts()
+    n = max(ha.size, hb.size)
+    return bool(
+        np.array_equal(
+            np.pad(ha, (0, n - ha.size)), np.pad(hb, (0, n - hb.size))
+        )
+    )
+
+
+def verify_rulebook(
+    initial_graph: StaticGraph,
+    queries: list[QueryGraph],
+    batches: list[UpdateBatch],
+    *,
+    seed: int = 0,
+    conflict_mode: str | None = None,
+    executors: tuple[str, ...] = ("frontier", "recursive"),
+    engine_kwargs: dict | None = None,
+) -> RulebookParityReport:
+    """Shared-trie vs per-query-independent parity spec (the rulebook
+    analog of :func:`verify_stream`).
+
+    Runs one shared :class:`~repro.core.multiquery.MultiQueryEngine` and
+    one independent engine per executor over the same stream and raises
+    :class:`ConsistencyError` unless, per batch:
+
+    * every query's signed ΔM is identical across all legs;
+    * every *representative* query's ``MatchStats`` and attributed access
+      counters (channel bytes/transactions, compute/output ops, and the
+      per-vertex access histogram) are **bit-identical** between the shared
+      trie and every independent leg;
+    * every alias's results mirror its representative's (the documented
+      dedupe contract — ΔM is an isomorphism invariant).
+    """
+    from repro.core.multiquery import MultiQueryEngine
+
+    require(len(batches) >= 1, "need at least one batch")
+    kwargs = dict(engine_kwargs or {})
+    if conflict_mode is not None:
+        kwargs["conflict_mode"] = conflict_mode
+    shared_engine = MultiQueryEngine(
+        initial_graph, queries, seed=seed, shared=True, **kwargs
+    )
+    indep_engines = {
+        ex: MultiQueryEngine(
+            initial_graph, queries, seed=seed, shared=False, executor=ex, **kwargs
+        )
+        for ex in executors
+    }
+    report = RulebookParityReport(
+        num_queries=len(queries), num_batches=len(batches),
+        executors=list(executors),
+        aliases={
+            n: r for n, r in shared_engine.canonical_of.items() if n != r
+        },
+    )
+    for k, batch in enumerate(batches):
+        shared_res = shared_engine.process_batch(batch)
+        for ex, engine in indep_engines.items():
+            indep_res = engine.process_batch(batch)
+            if shared_res.delta_counts != indep_res.delta_counts:
+                raise ConsistencyError(
+                    f"batch {k}: shared trie vs independent[{ex}] disagree "
+                    f"on ΔM: {shared_res.delta_counts} != {indep_res.delta_counts}"
+                )
+            for name, indep_stats in indep_res.match_stats.items():
+                if name in report.aliases:
+                    continue  # aliases mirror their representative
+                if vars(shared_res.match_stats[name]) != vars(indep_stats):
+                    raise ConsistencyError(
+                        f"batch {k}: stats diverge for {name} vs "
+                        f"independent[{ex}]: "
+                        f"{vars(shared_res.match_stats[name])} != {vars(indep_stats)}"
+                    )
+                assert shared_res.match_counters_by_query is not None
+                assert indep_res.match_counters_by_query is not None
+                if not _counters_equal(
+                    shared_res.match_counters_by_query[name],
+                    indep_res.match_counters_by_query[name],
+                ):
+                    raise ConsistencyError(
+                        f"batch {k}: attributed counters diverge for {name} "
+                        f"vs independent[{ex}]"
+                    )
+        report.delta_per_batch.append(shared_res.total_delta)
     return report
 
 

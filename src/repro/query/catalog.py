@@ -20,7 +20,14 @@ import networkx as nx
 from repro.query.pattern import QueryGraph
 from repro.utils import require
 
-__all__ = ["QUERIES", "QUERY_ORDER", "query_by_name", "motifs", "all_motifs_3_4_5"]
+__all__ = [
+    "QUERIES",
+    "QUERY_ORDER",
+    "query_by_name",
+    "motifs",
+    "all_motifs_3_4_5",
+    "load_rulebook",
+]
 
 
 def _q1() -> QueryGraph:
@@ -127,3 +134,87 @@ def motifs(size: int) -> tuple[QueryGraph, ...]:
 def all_motifs_3_4_5() -> list[QueryGraph]:
     """The full Fig. 11 workload: every connected motif of sizes 3, 4, 5."""
     return [q for size in (3, 4, 5) for q in motifs(size)]
+
+
+# ----------------------------------------------------------------------
+# rulebooks: named query sets for multi-query (shared) execution
+# ----------------------------------------------------------------------
+def _resolve_entry(entry: str) -> list[QueryGraph]:
+    """Resolve one rulebook entry to queries.
+
+    ``Q1``..``Q6`` name catalog queries; ``motifs:K`` expands to every
+    connected size-``K`` motif; ``motifs:A-B`` expands a size range.
+    """
+    entry = entry.strip()
+    if entry in QUERIES:
+        return [QUERIES[entry]]
+    if entry.startswith("motifs:"):
+        spec = entry.split(":", 1)[1]
+        if "-" in spec:
+            lo, hi = (int(x) for x in spec.split("-", 1))
+        else:
+            lo = hi = int(spec)
+        return [q for size in range(lo, hi + 1) for q in motifs(size)]
+    raise KeyError(
+        f"unknown rulebook entry {entry!r}; expected a catalog name "
+        f"({QUERY_ORDER}), 'motifs:K', or 'motifs:A-B'"
+    )
+
+
+def _query_from_dict(spec: dict, index: int) -> QueryGraph:
+    require("edges" in spec, f"rulebook entry {index}: missing 'edges'")
+    edges = [tuple(e) for e in spec["edges"]]
+    num_vertices = spec.get(
+        "num_vertices", max((max(e) for e in edges), default=-1) + 1
+    )
+    return QueryGraph(
+        num_vertices,
+        edges,
+        spec.get("labels"),
+        spec.get("name", f"rulebook{index}"),
+    )
+
+
+def load_rulebook(spec: str) -> list[QueryGraph]:
+    """Load a named-query rulebook for multi-query execution.
+
+    ``spec`` is either a file path or an inline comma-separated entry list.
+    Files may be JSON — a list (or ``{"queries": [...]}``) whose items are
+    entry strings or inline pattern objects
+    (``{"name", "edges", "labels"?, "num_vertices"?}``) — or plain text
+    with one entry per line (``#`` comments allowed).  Entry strings
+    resolve through the catalog: ``Q1``..``Q6`` or ``motifs:K`` /
+    ``motifs:A-B``.  Query names must be unique; the engine lexsorts them,
+    so execution is independent of rulebook file order.
+    """
+    import json
+    import os
+
+    queries: list[QueryGraph] = []
+    if os.path.exists(spec):
+        with open(spec) as fh:
+            text = fh.read()
+        stripped = text.lstrip()
+        if spec.endswith(".json") or stripped[:1] in "[{":
+            data = json.loads(text)
+            if isinstance(data, dict):
+                data = data.get("queries", [])
+            for i, item in enumerate(data):
+                if isinstance(item, str):
+                    queries.extend(_resolve_entry(item))
+                else:
+                    queries.append(_query_from_dict(item, i))
+        else:
+            for line in text.splitlines():
+                line = line.split("#", 1)[0].strip()
+                if line:
+                    queries.extend(_resolve_entry(line))
+    else:
+        for entry in spec.split(","):
+            if entry.strip():
+                queries.extend(_resolve_entry(entry))
+    require(len(queries) >= 1, f"rulebook {spec!r} resolved to no queries")
+    names = [q.name for q in queries]
+    require(len(set(names)) == len(names),
+            f"rulebook {spec!r} has duplicate query names")
+    return queries

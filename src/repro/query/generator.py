@@ -14,7 +14,7 @@ import numpy as np
 from repro.query.pattern import WILDCARD_LABEL, QueryGraph
 from repro.utils import as_generator, require
 
-__all__ = ["random_query", "random_query_suite"]
+__all__ = ["random_query", "random_query_suite", "rulebook_suite"]
 
 
 def random_query(
@@ -95,6 +95,66 @@ def random_query_suite(
                 density=float(rng.uniform(0.0, 0.6)),
                 seed=rng,
                 name=f"rand{i}_{n}v",
+            )
+        )
+    return suite
+
+
+def rulebook_suite(
+    count: int,
+    *,
+    num_families: int | None = None,
+    min_vertices: int = 4,
+    max_vertices: int = 6,
+    num_labels: int = 3,
+    max_perturbations: int = 1,
+    seed: int | np.random.Generator | None = 0,
+) -> list[QueryGraph]:
+    """Rulebook-style workload: many standing patterns from few families.
+
+    Production rulebooks (fraud rings, rumor motifs) are not ``count``
+    unrelated patterns — they are variations on a handful of templates:
+    the same ring shape with a different account type at one position.
+    This generator mirrors that: it draws ``num_families`` random connected
+    skeletons, gives each a base labeling, then emits ``count`` queries by
+    resampling the labels of ``0..max_perturbations`` vertices of a random
+    family.  Matching orders depend only on structure, so family members
+    compile plans whose execution signatures agree up to the first
+    perturbed vertex — long shared prefixes for the execution trie — and
+    zero-perturbation draws yield outright isomorphic duplicates for the
+    symmetry dedupe.  Names are zero-padded (``R000`` …) so lexsorted order
+    equals generation order.
+    """
+    rng = as_generator(seed)
+    require(count >= 1, "count must be >= 1")
+    require(num_labels >= 1, "num_labels must be >= 1")
+    require(max_perturbations >= 0, "max_perturbations must be >= 0")
+    if num_families is None:
+        num_families = max(2, min(6, count // 8))
+    families = []
+    for _ in range(num_families):
+        skeleton = random_query(
+            int(rng.integers(min_vertices, max_vertices + 1)),
+            density=float(rng.uniform(0.1, 0.5)),
+            seed=rng,
+        )
+        base_labels = rng.integers(0, num_labels, size=skeleton.num_vertices)
+        families.append((skeleton, base_labels))
+    width = max(3, len(str(count - 1)))
+    suite = []
+    for i in range(count):
+        skeleton, base_labels = families[int(rng.integers(num_families))]
+        labels = base_labels.copy()
+        for _ in range(int(rng.integers(0, max_perturbations + 1))):
+            labels[int(rng.integers(skeleton.num_vertices))] = int(
+                rng.integers(num_labels)
+            )
+        suite.append(
+            QueryGraph(
+                skeleton.num_vertices,
+                list(skeleton.edges),
+                labels.tolist(),
+                name=f"R{i:0{width}d}",
             )
         )
     return suite

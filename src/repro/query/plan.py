@@ -42,6 +42,9 @@ __all__ = [
     "compile_static_plan",
     "compile_delta_plans",
     "greedy_matching_order",
+    "level_signature",
+    "root_signature",
+    "plan_signature",
 ]
 
 
@@ -128,6 +131,48 @@ class MatchPlan:
             indent += "  "
         lines.append(f"{indent}emit embedding")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prefix-alignable execution signatures.
+#
+# Plan execution is *structural*: given the same frontier rows, a level's
+# expansion depends only on its required label and on which already-bound
+# positions constrain it through which adjacency version — never on the
+# query's private vertex numbering or on the constraints' edge-index
+# provenance.  The signatures below capture exactly that structure, so two
+# plans (from different queries) whose signature sequences share a prefix
+# produce bit-identical frontiers, candidate sets, and access charges over
+# that prefix.  The multi-query execution trie groups the rulebook's plans
+# by these prefixes and expands each shared level once.
+# ----------------------------------------------------------------------
+def level_signature(level: LevelPlan) -> tuple:
+    """Execution identity of one binding level.
+
+    ``(label, ((position, version), ...))`` — everything the frontier
+    executor's candidate expansion reads.  ``query_vertex`` and constraint
+    ``edge_index`` are deliberately excluded: they are provenance, not
+    behavior.
+    """
+    return (
+        level.label,
+        tuple((c.position, c.version.value) for c in level.constraints),
+    )
+
+
+def root_signature(plan: MatchPlan) -> tuple:
+    """Execution identity of a plan's root-edge iteration.
+
+    Delta roots are the directed batch updates filtered by the two root
+    endpoint labels, so plans with equal root signatures iterate identical
+    ``(roots, signs)`` arrays for any batch.
+    """
+    return plan.root_labels()
+
+
+def plan_signature(plan: MatchPlan) -> tuple:
+    """Full structural identity: root signature plus every level's."""
+    return (root_signature(plan), tuple(level_signature(l) for l in plan.levels))
 
 
 def greedy_matching_order(

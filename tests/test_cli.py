@@ -106,3 +106,55 @@ class TestVerifyCommand:
     def test_bad_conflict_mode_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--conflict-mode", "merge"])
+
+
+class TestRulebookCommand:
+    def test_inline_rulebook_runs_shared(self, capsys, tmp_path):
+        path = tmp_path / "rb.json"
+        code = main([
+            "run", "--rulebook", "Q1,Q2", "--dataset", "AZ",
+            "--batch-size", "32", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 queries, shared=True" in out
+        payload = json.loads(path.read_text())
+        assert payload[0]["shared"] is True
+        assert payload[0]["rulebook_size"] == 2
+        assert payload[0]["query"] == "rulebook[2]"
+
+    def test_rulebook_file_and_no_shared(self, capsys, tmp_path):
+        book = tmp_path / "book.txt"
+        book.write_text("Q1  # house\nQ3\n")
+        path = tmp_path / "rb.json"
+        code = main([
+            "run", "--rulebook", str(book), "--no-shared", "--dataset", "AZ",
+            "--batch-size", "32", "--json", str(path),
+        ])
+        assert code == 0
+        assert "shared=False" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload[0]["shared"] is False
+
+    def test_rulebook_json_file_with_inline_pattern(self, capsys, tmp_path):
+        book = tmp_path / "book.json"
+        book.write_text(json.dumps({
+            "queries": [
+                "Q1",
+                {"name": "wedge", "edges": [[0, 1], [1, 2]], "labels": [0, 1, 0]},
+            ]
+        }))
+        code = main([
+            "run", "--rulebook", str(book), "--dataset", "AZ",
+            "--batch-size", "32",
+        ])
+        assert code == 0
+        assert "2 queries" in capsys.readouterr().out
+
+    def test_unknown_rulebook_entry_rejected(self, capsys):
+        assert main(["run", "--rulebook", "Q1,QX", "--dataset", "AZ"]) == 2
+        assert "unknown rulebook entry" in capsys.readouterr().err
+
+    def test_rulebook_excludes_other_systems(self, capsys):
+        assert main(["run", "--rulebook", "Q1", "--system", "CPU"]) == 2
+        assert "--rulebook only applies to GCSM" in capsys.readouterr().err

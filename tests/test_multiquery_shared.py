@@ -1,0 +1,278 @@
+"""Parity suite for shared trie-based multi-query execution.
+
+The sharing contract (``docs/multiquery.md``): shared trie execution must
+be *observationally identical* to running every query independently —
+per-query signed ΔM, ``MatchStats``, attributed access counters, and sink
+emission order — on clean and adversarial streams, under both executors,
+with isomorphic duplicates deduped to a representative.  Only the
+engine-level shared counters (and the simulated match time derived from
+them) are allowed to differ, and only downward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frontier import FrontierKernel
+from repro.core.multiquery import MultiQueryEngine, split_walk_budget
+from repro.core.querytrie import ExecutionTrie, QuerySetMasks
+from repro.core.validation import (
+    ConsistencyError,
+    generate_adversarial_stream,
+    verify_rulebook,
+)
+from repro.graphs.generators import erdos_renyi, powerlaw_graph
+from repro.graphs.stream import derive_stream
+from repro.query.catalog import QUERIES, QUERY_ORDER
+from repro.query.generator import rulebook_suite
+from repro.query.pattern import QueryGraph
+from repro.query.plan import compile_delta_plans, plan_signature
+
+
+def _catalog() -> list[QueryGraph]:
+    return [QUERIES[n] for n in QUERY_ORDER]
+
+
+# ----------------------------------------------------------------------
+# walk-budget split (satellite regression)
+# ----------------------------------------------------------------------
+class TestWalkBudgetSplit:
+    def test_sums_exactly_for_awkward_sizes(self):
+        for total, n in [(1000, 7), (4096, 100), (8192, 3), (999, 998), (64, 63)]:
+            counts = split_walk_budget(total, n)
+            assert len(counts) == n
+            assert sum(counts) == total  # the old // split under-spent
+            assert max(counts) - min(counts) <= 1
+
+    def test_degenerate_budget_gives_one_walk_each(self):
+        counts = split_walk_budget(10, 64)
+        assert counts == [1] * 64
+
+    def test_pooled_estimate_spends_the_configured_budget(self):
+        g0 = erdos_renyi(60, 6.0, num_labels=3, seed=0)
+        queries = rulebook_suite(7, seed=1)
+        engine = MultiQueryEngine(g0, queries, num_walks=1000, seed=2)
+        batches = generate_adversarial_stream(g0, num_batches=1, seed=3)
+        result = engine.process_batch(batches[0])
+        assert result.estimation is not None
+        # 1000 walks across 7 queries: 142*7 = 994 under the old floor split
+        assert result.estimation.num_walks == 1000
+
+
+# ----------------------------------------------------------------------
+# randomized shared-vs-independent parity
+# ----------------------------------------------------------------------
+class TestSharedParity:
+    def test_catalog_rulebook_clean_stream(self):
+        g = powerlaw_graph(1_500, 8.0, max_degree=60, num_labels=3, seed=11)
+        g0, batches = derive_stream(g, num_updates=96, batch_size=32, seed=11)
+        report = verify_rulebook(g0, _catalog(), batches, seed=4)
+        assert report.num_queries == 6
+        assert "shared trie matches" in report.describe()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_rulebooks_adversarial_streams(self, seed):
+        rng = np.random.default_rng(seed)
+        g0 = erdos_renyi(
+            int(rng.integers(40, 70)), 6.0, num_labels=3,
+            seed=np.random.default_rng(seed),
+        )
+        queries = rulebook_suite(
+            int(rng.integers(6, 14)), num_labels=2, seed=seed + 10
+        )
+        batches = generate_adversarial_stream(
+            g0, num_batches=3, batch_size=20, seed=seed + 20
+        )
+        report = verify_rulebook(
+            g0, queries, batches, seed=seed, conflict_mode="coalesce"
+        )
+        assert report.num_batches == 3
+
+    def test_isomorphic_duplicates_are_deduped_and_exact(self):
+        g0 = erdos_renyi(50, 6.0, num_labels=2, seed=5)
+        base = QUERIES["Q1"]
+        # relabeled copy (vertex order permuted) plus a verbatim copy
+        perm = [2, 0, 4, 1, 3]
+        edges = [
+            (min(perm[u], perm[v]), max(perm[u], perm[v])) for u, v in base.edges
+        ]
+        labels = [0] * base.num_vertices
+        for u in range(base.num_vertices):
+            labels[perm[u]] = base.labels[u]
+        twisted = QueryGraph(base.num_vertices, sorted(edges), labels, name="Q1twist")
+        clone = QueryGraph(
+            base.num_vertices, list(base.edges), list(base.labels), name="Q1clone"
+        )
+        queries = [base, twisted, clone, QUERIES["Q2"]]
+        batches = generate_adversarial_stream(g0, num_batches=3, seed=6)
+        report = verify_rulebook(g0, queries, batches, seed=7)
+        # lexsorted names: Q1 < Q1clone < Q1twist < Q2 — Q1 is representative
+        assert report.aliases == {"Q1clone": "Q1", "Q1twist": "Q1"}
+        engine = MultiQueryEngine(g0, queries, seed=7)
+        res = engine.process_batch(generate_adversarial_stream(g0, seed=8)[0])
+        assert res.delta_counts["Q1clone"] == res.delta_counts["Q1"]
+        assert res.delta_counts["Q1twist"] == res.delta_counts["Q1"]
+
+    def test_consistency_error_carries_context(self):
+        g0 = erdos_renyi(40, 5.0, num_labels=2, seed=9)
+        batches = generate_adversarial_stream(g0, num_batches=1, seed=9)
+        report = verify_rulebook(g0, _catalog()[:2], batches, seed=9)
+        assert report.total_delta == sum(report.delta_per_batch)
+        with pytest.raises(ConsistencyError):
+            raise ConsistencyError("synthetic")
+
+
+# ----------------------------------------------------------------------
+# sink order and alias remapping
+# ----------------------------------------------------------------------
+class TestSinkParity:
+    def _emissions(self, g0, queries, batches, *, shared):
+        engine = MultiQueryEngine(g0, queries, seed=3, shared=shared)
+        out = {q.name: [] for q in queries}
+        sinks = {
+            name: (lambda emb, sign, name=name: out[name].append((emb, sign)))
+            for name in out
+        }
+        for batch in batches:
+            engine.process_batch(batch, sinks=sinks)
+        return out
+
+    def test_representative_sinks_bit_identical_order(self):
+        g0 = erdos_renyi(50, 6.0, num_labels=3, seed=21)
+        queries = _catalog()
+        batches = generate_adversarial_stream(g0, num_batches=3, seed=22)
+        shared = self._emissions(g0, queries, batches, shared=True)
+        indep = self._emissions(g0, queries, batches, shared=False)
+        for name in shared:
+            assert shared[name] == indep[name], name  # order included
+
+    def test_alias_sinks_multiset_equal_and_remapped(self):
+        g0 = erdos_renyi(50, 6.0, num_labels=2, seed=23)
+        base = QUERIES["Q1"]
+        clone = QueryGraph(
+            base.num_vertices, list(base.edges), list(base.labels), name="Q1clone"
+        )
+        batches = generate_adversarial_stream(g0, num_batches=2, seed=24)
+        shared = self._emissions(g0, [base, clone], batches, shared=True)
+        indep = self._emissions(g0, [base, clone], batches, shared=False)
+        # the clone shares Q1's structure verbatim, so the identity iso makes
+        # even the order identical; the general guarantee is multiset equality
+        assert sorted(shared["Q1clone"]) == sorted(indep["Q1clone"])
+        assert shared["Q1"] == indep["Q1"]
+
+
+# ----------------------------------------------------------------------
+# trie construction and masks
+# ----------------------------------------------------------------------
+class TestTrieMechanics:
+    def test_trie_counts_and_sharing_ratio(self):
+        queries = sorted(_catalog(), key=lambda q: q.name)
+        trie = ExecutionTrie({q.name: compile_delta_plans(q) for q in queries})
+        stats = trie.stats
+        assert stats.num_queries == 6
+        assert stats.num_plans == sum(q.num_edges for q in queries)
+        assert stats.expanded_levels < stats.total_levels  # real sharing
+        assert 0.0 < stats.sharing_ratio < 1.0
+        assert stats.to_dict()["shared_levels"] == stats.shared_levels
+
+    def test_identical_plans_collapse_to_one_path(self):
+        q = QUERIES["Q2"]
+        a = QueryGraph(q.num_vertices, list(q.edges), list(q.labels), name="A")
+        b = QueryGraph(q.num_vertices, list(q.edges), list(q.labels), name="B")
+        trie = ExecutionTrie({"A": compile_delta_plans(a), "B": compile_delta_plans(b)})
+        # every level node carries both queries; no extra expansions for B
+        solo = ExecutionTrie({"A": compile_delta_plans(a)})
+        assert trie.stats.expanded_levels == solo.stats.expanded_levels
+        assert trie.stats.total_levels == 2 * solo.stats.total_levels
+
+    def test_plan_signature_separates_distinct_structures(self):
+        sigs = {
+            plan_signature(p)
+            for q in _catalog()
+            for p in compile_delta_plans(q)
+        }
+        assert len(sigs) > 6  # distinct structures stay distinct
+
+    def test_query_set_masks_narrow_and_intern(self):
+        masks = QuerySetMasks(["a", "b", "c"])
+        full = masks.intern(masks.bits_of(["a", "b", "c"]))
+        ids = np.array([full, full, full], dtype=np.int64)
+        ab = masks.bits_of(["a", "b"])
+        active = masks.row_active(ids, masks.bits_of(["c"]))
+        assert active.all()
+        narrowed = masks.narrowed(ids, ab)
+        assert len(set(narrowed.tolist())) == 1  # interned to one id
+        none = masks.row_active(narrowed, masks.bits_of(["c"]))
+        assert not none.any()
+
+    def test_masked_level_candidates_matches_compacted_rows(self):
+        g = powerlaw_graph(400, 6.0, max_degree=40, num_labels=2, seed=31)
+        from repro.core.cache import CachedDeviceView
+        from repro.core.dcsr import DcsrCache
+        from repro.core.matching import delta_roots
+        from repro.graphs.dynamic_graph import DynamicGraph
+        from repro.gpu.counters import AccessCounters
+        from repro.gpu.device import default_device
+
+        g0, batches = derive_stream(g, num_updates=32, batch_size=32, seed=31)
+        graph = DynamicGraph(g0)
+        batch = graph.apply_batch(batches[0])
+        cache = DcsrCache.build(graph, np.arange(16))
+        plan = compile_delta_plans(QUERIES["Q1"])[0]
+        roots, _ = delta_roots(plan, batch, graph.labels)
+        if roots.shape[0] < 2:
+            pytest.skip("stream produced too few roots for this seed")
+        active = np.zeros(roots.shape[0], dtype=bool)
+        active[::2] = True
+
+        def run(rows, mask):
+            counters = AccessCounters()
+            view = CachedDeviceView(graph, default_device(), counters, cache)
+            kernel = FrontierKernel(view, graph.labels)
+            flat, cnt = kernel.level_candidates(plan.levels[0], rows, mask)
+            return flat, cnt, counters
+
+        flat_m, cnt_m, ctr_m = run(roots.astype(np.int64), active)
+        flat_c, cnt_c, ctr_c = run(roots.astype(np.int64)[active], None)
+        assert np.array_equal(flat_m, flat_c)
+        assert np.array_equal(cnt_m[active], cnt_c)
+        assert not cnt_m[~active].any()
+        assert ctr_m.summary() == ctr_c.summary()  # inactive rows charge nothing
+
+
+# ----------------------------------------------------------------------
+# determinism and the shared-never-loses property
+# ----------------------------------------------------------------------
+class TestDeterminismAndCost:
+    def test_lexsorted_order_is_insertion_order_independent(self):
+        g0 = erdos_renyi(50, 6.0, num_labels=3, seed=41)
+        queries = _catalog()
+        batches = generate_adversarial_stream(g0, num_batches=2, seed=42)
+
+        def run(qs):
+            engine = MultiQueryEngine(g0, qs, seed=5)
+            return [engine.process_batch(b) for b in batches]
+
+        fwd = run(list(queries))
+        rev = run(list(reversed(queries)))
+        for a, b in zip(fwd, rev):
+            assert list(a.delta_counts) == list(b.delta_counts)  # key order too
+            assert a.delta_counts == b.delta_counts
+            assert a.match_counters.summary() == b.match_counters.summary()
+
+    def test_shared_kernel_never_charges_more_than_independent(self):
+        g = powerlaw_graph(1_000, 7.0, max_degree=50, num_labels=2, seed=43)
+        g0, batches = derive_stream(g, num_updates=64, batch_size=32, seed=43)
+        queries = rulebook_suite(12, num_labels=2, seed=44)
+
+        def total(shared):
+            engine = MultiQueryEngine(g0, queries, seed=6, shared=shared)
+            ns = 0.0
+            for b in batches:
+                ns += engine.process_batch(b).breakdown.match_ns
+            return ns
+
+        # shared charges are a subset of the independent ones, so simulated
+        # kernel time can only go down
+        assert total(True) <= total(False)

@@ -121,3 +121,37 @@ class TestDeltaPlans:
         assert len(plans) == 1
         assert plans[0].levels == ()
         assert plans[0].root_labels() == (3, 4)
+
+
+class TestExecutionSignatures:
+    """Prefix-alignable structural identities driving the execution trie."""
+
+    def test_signature_ignores_provenance(self):
+        from repro.query.plan import level_signature
+
+        q = QUERIES["Q1"]
+        for plan in compile_delta_plans(q):
+            for lvl in plan.levels:
+                sig = level_signature(lvl)
+                assert sig[0] == lvl.label
+                # positions/versions present, edge_index/query_vertex absent
+                assert sig[1] == tuple(
+                    (c.position, c.version.value) for c in lvl.constraints
+                )
+
+    def test_isomorphic_copies_share_full_signatures(self):
+        from repro.query.plan import plan_signature
+
+        q = square_with_diag()
+        clone = QueryGraph(
+            q.num_vertices, list(q.edges), list(q.labels), name="clone"
+        )
+        a = [plan_signature(p) for p in compile_delta_plans(q)]
+        b = [plan_signature(p) for p in compile_delta_plans(clone)]
+        assert a == b
+
+    def test_root_signature_is_the_label_pair(self):
+        from repro.query.plan import root_signature
+
+        for plan in compile_delta_plans(QUERIES["Q3"]):
+            assert root_signature(plan) == plan.root_labels()

@@ -66,3 +66,46 @@ def test_catalog_automorphism_counts():
     assert counts["Q1"] == 1
     assert counts["Q4"] == 4
     assert all(c >= 1 for c in counts.values())
+
+
+# ----------------------------------------------------------------------
+# cross-pattern canonical forms (rulebook dedupe)
+# ----------------------------------------------------------------------
+def test_canonical_form_equal_iff_isomorphic():
+    from repro.query.symmetry import canonical_form
+
+    base = QueryGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)], [0, 1, 0, 1], name="sq")
+    # same square, vertices renumbered
+    twisted = QueryGraph(4, [(0, 2), (1, 2), (0, 3), (1, 3)], [0, 0, 1, 1], name="tw")
+    other_labels = QueryGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)], [0, 1, 1, 0])
+    assert canonical_form(base) == canonical_form(twisted)
+    assert canonical_form(base) != canonical_form(other_labels)
+    assert canonical_form(base) != canonical_form(QUERIES["Q1"])
+
+
+def test_find_isomorphism_maps_edges_and_labels():
+    from repro.query.symmetry import find_isomorphism
+
+    base = QUERIES["Q2"]
+    perm = (3, 1, 4, 0, 2)
+    edges = sorted(
+        (min(perm[u], perm[v]), max(perm[u], perm[v])) for u, v in base.edges
+    )
+    labels = [0] * base.num_vertices
+    for u in range(base.num_vertices):
+        labels[perm[u]] = base.labels[u]
+    alias = QueryGraph(base.num_vertices, edges, labels, name="Q2alias")
+    iso = find_isomorphism(base, alias)
+    assert iso is not None
+    for u, v in base.edges:
+        assert alias.has_edge(iso[u], iso[v])
+        assert alias.label(iso[u]) == base.label(u)
+    # non-isomorphic pair
+    assert find_isomorphism(base, QUERIES["Q1"]) is None
+
+
+def test_find_isomorphism_is_deterministic_smallest():
+    from repro.query.symmetry import find_isomorphism
+
+    tri = QueryGraph(3, [(0, 1), (1, 2), (0, 2)])  # unlabeled, 6 isomorphisms
+    assert find_isomorphism(tri, tri) == (0, 1, 2)
