@@ -28,6 +28,7 @@ __all__ = [
     "RunResult",
     "run_stream",
     "run_rulebook_stream",
+    "run_service",
     "build_workload",
     "clear_caches",
     "print_table",
@@ -278,6 +279,57 @@ def run_rulebook_stream(
         shared=shared,
         rulebook_size=len(queries),
     )
+
+
+def run_service(
+    num_tenants: int = 2,
+    *,
+    num_batches: int = 8,
+    batch_size: int = 16,
+    rate_per_sec: float = 50.0,
+    arrival: str = "poisson",
+    burst: int = 4,
+    think_ns: float = 0.0,
+    num_devices: int = 1,
+    queue_capacity: int = 8,
+    scheduler: str = "fair",
+    admission: str = "reject",
+    pipeline: bool = True,
+    threaded: bool = True,
+    seed: int = 0,
+    device: DeviceConfig | None = None,
+    json_path: str | None = None,
+    engine_kwargs: dict | None = None,
+    workload_kwargs: dict | None = None,
+):
+    """One multi-tenant service run; optionally persist the report as JSON.
+
+    Builds ``num_tenants`` adversarial-stream tenants
+    (:func:`repro.service.load.make_tenant_workloads`), drives them through
+    a :class:`repro.service.server.MatchService`, and returns the
+    :class:`repro.service.metrics.ServiceReport` — the machine-readable
+    per-run artifact (per-tenant p50/p95/p99 latency, sustained edges/sec,
+    queue depth, shed rate, counter totals, wall clock + simulated time).
+    """
+    from repro.service import MatchService, make_tenant_workloads
+
+    workloads = make_tenant_workloads(
+        num_tenants,
+        num_batches=num_batches, batch_size=batch_size,
+        rate_per_sec=rate_per_sec, arrival=arrival, burst=burst,
+        think_ns=think_ns, seed=seed, **(workload_kwargs or {}),
+    )
+    service = MatchService(
+        workloads,
+        num_devices=num_devices, queue_capacity=queue_capacity,
+        scheduler=scheduler, admission=admission,
+        pipeline=pipeline, threaded=threaded,
+        device=device, seed=seed, engine_kwargs=engine_kwargs,
+    )
+    report = service.run()
+    if json_path:
+        report.save(json_path)
+    return report
 
 
 def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:

@@ -125,6 +125,45 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=list(FIGURE_RUNNERS) + ["all"])
 
+    srv_p = sub.add_parser(
+        "serve",
+        help="multi-tenant continuous-ingest service run with SLO report",
+    )
+    srv_p.add_argument("--tenants", type=int, default=3, metavar="N",
+                       help="number of tenant streams (default: 3)")
+    srv_p.add_argument("--batches", type=int, default=8,
+                       help="batches per tenant stream (default: 8)")
+    srv_p.add_argument("--batch-size", type=int, default=16)
+    srv_p.add_argument("--rate", type=float, default=50.0, metavar="R",
+                       help="per-tenant arrival rate in batches/simulated-sec")
+    srv_p.add_argument("--arrival", default="poisson",
+                       choices=["poisson", "bursty", "closed"],
+                       help="arrival process: open-loop poisson/bursty or "
+                            "closed-loop (next batch after completion + think)")
+    srv_p.add_argument("--burst", type=int, default=4,
+                       help="burst size for --arrival bursty (default: 4)")
+    srv_p.add_argument("--devices", type=int, default=1,
+                       help="device fleet size (default: 1)")
+    srv_p.add_argument("--queue-capacity", type=int, default=8,
+                       help="per-tenant ingest queue bound (default: 8)")
+    srv_p.add_argument("--scheduler", default="fair",
+                       choices=["fair", "priority"],
+                       help="device scheduler across ready tenants")
+    srv_p.add_argument("--admission", default="reject",
+                       choices=["reject", "shed-oldest", "backpressure"],
+                       help="policy when a tenant queue is full")
+    srv_p.add_argument("--no-pipeline", dest="pipeline", action="store_false",
+                       help="serial per-batch engines instead of the "
+                            "pipelined (overlapped) engine")
+    srv_p.add_argument("--seed", type=int, default=0)
+    srv_p.add_argument("--json", metavar="PATH", default=None,
+                       help="persist the machine-readable service report")
+    srv_p.add_argument("--report", action="store_true",
+                       help="pretty-print the per-tenant SLO table")
+    srv_p.add_argument("--max-shed", type=float, default=None, metavar="F",
+                       help="exit non-zero if any tenant's shed rate exceeds "
+                            "F (scriptable SLO gate for CI)")
+
     ver_p = sub.add_parser(
         "verify",
         help="cross-check that all systems agree on ΔM (optionally vs the oracle)",
@@ -309,6 +348,51 @@ def _cmd_figure(name: str) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_service
+
+    try:
+        report = run_service(
+            args.tenants,
+            num_batches=args.batches, batch_size=args.batch_size,
+            rate_per_sec=args.rate, arrival=args.arrival, burst=args.burst,
+            num_devices=args.devices, queue_capacity=args.queue_capacity,
+            scheduler=args.scheduler, admission=args.admission,
+            pipeline=args.pipeline, seed=args.seed, json_path=args.json,
+        )
+    except ValueError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"service: {args.tenants} tenants x {args.batches} batches on "
+        f"{report.num_devices} device(s), scheduler={report.scheduler}, "
+        f"admission={report.admission}, pipeline={report.pipeline}"
+    )
+    print(f"  completed         : {report.completed} batches "
+          f"({report.total_edges} edge updates)")
+    print(f"  makespan          : {format_time_ns(report.makespan_ns)} simulated "
+          f"({report.wall_clock_s:.3f} s wall)")
+    print(f"  sustained         : {report.sustained_edges_per_sec:,.0f} edges/sec")
+    if report.schedule:
+        print(f"  pipeline overlap  : {format_time_ns(report.schedule['overlap_ns'])} "
+              f"hidden, schedule speedup {report.schedule['speedup']:.2f}x")
+    if args.json:
+        print(f"  report written to {args.json}")
+    if args.report:
+        from repro.service.metrics import ServiceReport
+
+        print_table("per-tenant SLOs", ServiceReport.SLO_HEADER, report.slo_rows())
+    if args.max_shed is not None and report.max_shed_rate > args.max_shed:
+        offenders = [
+            f"{t['name']} ({t['shed_rate']:.3f})"
+            for t in report.tenants if t["shed_rate"] > args.max_shed
+        ]
+        print(f"SLO VIOLATION: shed rate above {args.max_shed}: "
+              f"{', '.join(offenders)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.validation import ConsistencyError, fuzz_verify, verify_stream
     from repro.graphs.stream import DEFAULT_CONFLICT_MODE
@@ -356,6 +440,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "figure":
         return _cmd_figure(args.name)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "verify":
         return _cmd_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -308,7 +308,7 @@ class VsgmSystem:
         return self.graph.snapshot()
 
 
-SYSTEM_NAMES = ("GCSM", "ZC", "UM", "Naive", "VSGM", "CPU")
+SYSTEM_NAMES = ("GCSM", "Pipelined", "ZC", "UM", "Naive", "VSGM", "CPU")
 
 
 def make_system(
@@ -340,6 +340,12 @@ def make_system(
                 device=device, seed=seed, workers=workers, **kwargs,
             )
         return GCSMEngine(initial_graph, query, device=device, seed=seed, **kwargs)
+    if name == "Pipelined":
+        # GCSM under the staged/overlapped schedule: bit-identical results,
+        # pipeline-annotated TimeBreakdowns (repro.service.pipeline)
+        from repro.service.pipeline import PipelinedEngine
+
+        return PipelinedEngine(initial_graph, query, device=device, seed=seed, **kwargs)
     if name == "ZC":
         return ZeroCopySystem(initial_graph, query, device=device, **kwargs)
     if name == "UM":

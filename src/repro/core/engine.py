@@ -239,46 +239,100 @@ class GCSMEngine:
         self.total_delta = 0
 
     # ------------------------------------------------------------------
+    # pipeline stages
+    #
+    # Each of the five steps is an explicit stage method whose resource
+    # class is declared in :data:`repro.gpu.clock.PIPELINE_STAGES` (CPU for
+    # update/estimate/pack/reorganize, GPU for match).  The stages only
+    # communicate through arguments and return values, never through
+    # hidden instance state, so :class:`repro.service.pipeline.PipelinedEngine`
+    # can legally re-sequence them — running the GPU match of batch *k*
+    # concurrently with the CPU stages of batch *k+1* — without changing
+    # any stage's inputs.
+    # ------------------------------------------------------------------
+    def _stage_update(self, batch: UpdateBatch) -> tuple[UpdateBatch, float]:
+        """CPU stage 1: canonicalize ΔE and fold it into the store."""
+        return update_step(self.graph, batch, self.device, self.conflict_mode)
+
+    def _stage_estimate(
+        self, batch: UpdateBatch
+    ) -> tuple[EstimationResult | None, float]:
+        """CPU stage 2: merged-random-walk frequency estimation (policy-gated)."""
+        if not self.policy.requires_estimation:
+            return None, 0.0
+        if self.adaptive_walks:
+            estimation = self.estimator.estimate_adaptive(
+                self.plans, batch, initial_walks=self.num_walks
+            )
+        else:
+            estimation = self.estimator.estimate(
+                self.plans, batch, num_walks=self.num_walks
+            )
+        ns = simulated_time_ns(
+            estimation.counters, self.device, platform="cpu_estimator"
+        )
+        return estimation, ns
+
+    def _stage_pack(
+        self, estimation: EstimationResult | None
+    ) -> tuple[np.ndarray, DcsrCache, float]:
+        """CPU stage 3: select + pack frequent lists, single DMA to device."""
+        frequencies = estimation.frequencies if estimation is not None else None
+        selected = self.policy.select(self.graph, frequencies, self.cache_budget_bytes)
+        cache, ns = pack_step(self.graph, selected, self.device)
+        return selected, cache, ns
+
+    def _stage_match(
+        self,
+        batch: UpdateBatch,
+        cache: DcsrCache,
+        graph: DynamicGraph | None = None,
+    ) -> tuple[MatchStats, AccessCounters, CachedDeviceView, float]:
+        """GPU stage 4: the incremental WCOJ kernel.
+
+        ``graph`` overrides the store the device view dereferences for
+        zero-copy fallthrough — the pipelined engine passes a
+        :class:`~repro.graphs.dynamic_graph.FrozenDynamicGraph` epoch so the
+        kernel keeps reading batch *k*'s state while the host already
+        mutates the live store for batch *k+1*.
+        """
+        match_counters = AccessCounters()
+        view = CachedDeviceView(
+            graph if graph is not None else self.graph,
+            self.device, match_counters, cache,
+        )
+        stats = match_batch(self.plans, batch, view, executor=self.executor)
+        ns = simulated_time_ns(match_counters, self.device, platform="gpu")
+        return stats, match_counters, view, ns
+
+    def _stage_reorganize(self) -> float:
+        """CPU stage 5: re-sort updated lists, close the batch."""
+        return reorganize_step(self.graph, self.device)
+
+    # ------------------------------------------------------------------
     def process_batch(self, batch: UpdateBatch) -> BatchResult:
         """Run the full five-step pipeline for one batch."""
         require(len(batch) > 0, "empty batch")
-        graph = self.graph
         breakdown = TimeBreakdown()
 
         # -- step 1: dynamic graph update on the CPU ----------------------
         # every later step runs on the canonicalized *effective* batch
-        batch, breakdown.update_ns = update_step(
-            graph, batch, self.device, self.conflict_mode
-        )
+        batch, breakdown.update_ns = self._stage_update(batch)
+        conflicts = self.graph.last_canonical_report
 
         # -- step 2: frequency estimation (CPU) ---------------------------
-        estimation: EstimationResult | None = None
-        if self.policy.requires_estimation:
-            if self.adaptive_walks:
-                estimation = self.estimator.estimate_adaptive(
-                    self.plans, batch, initial_walks=self.num_walks
-                )
-            else:
-                estimation = self.estimator.estimate(
-                    self.plans, batch, num_walks=self.num_walks
-                )
-            breakdown.estimate_ns = simulated_time_ns(
-                estimation.counters, self.device, platform="cpu_estimator"
-            )
+        estimation, breakdown.estimate_ns = self._stage_estimate(batch)
 
         # -- step 3: pack frequent lists + single DMA ----------------------
-        frequencies = estimation.frequencies if estimation is not None else None
-        selected = self.policy.select(graph, frequencies, self.cache_budget_bytes)
-        cache, breakdown.pack_ns = pack_step(graph, selected, self.device)
+        selected, cache, breakdown.pack_ns = self._stage_pack(estimation)
 
         # -- step 4: incremental matching on the GPU -----------------------
-        match_counters = AccessCounters()
-        view = CachedDeviceView(graph, self.device, match_counters, cache)
-        stats = match_batch(self.plans, batch, view, executor=self.executor)
-        breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
+        stats, match_counters, view, breakdown.match_ns = self._stage_match(
+            batch, cache
+        )
 
         # -- step 5: reorganize CPU lists ----------------------------------
-        breakdown.reorg_ns = reorganize_step(graph, self.device)
+        breakdown.reorg_ns = self._stage_reorganize()
 
         self.batches_processed += 1
         self.total_delta += stats.signed_count
@@ -292,7 +346,7 @@ class GCSMEngine:
             cache_bytes=cache.total_bytes,
             cache_hits=view.hits,
             cache_misses=view.misses,
-            conflicts=graph.last_canonical_report,
+            conflicts=conflicts,
         )
 
     def process_stream(self, batches: list[UpdateBatch]) -> list[BatchResult]:

@@ -482,10 +482,12 @@ def generate_adversarial_stream(
 # ----------------------------------------------------------------------
 
 #: Every system the fuzzer cross-checks by default — both GCSM engines
-#: (single-GPU and 2-device sharded), all four GPU baselines, the CPU
-#: loop, and RapidFlow.
+#: (single-GPU and 2-device sharded), the pipelined engine (same results,
+#: overlapped schedule), all four GPU baselines, the CPU loop, and
+#: RapidFlow.
 DEFAULT_FUZZ_SYSTEMS = (
-    "GCSM", "GCSM@2", "ZC", "UM", "Naive", "VSGM", "CPU", "RapidFlow",
+    "GCSM", "GCSM@2", "Pipelined", "ZC", "UM", "Naive", "VSGM", "CPU",
+    "RapidFlow",
 )
 
 #: Queries the fuzz cases rotate through (kept small: the oracle recounts

@@ -17,12 +17,21 @@ Sec. II-C: "zero-copy access stalls the GPU kernel"), so they *add*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import DeviceConfig
 
-__all__ = ["simulated_time_ns", "TimeBreakdown"]
+__all__ = [
+    "simulated_time_ns",
+    "TimeBreakdown",
+    "StageSpec",
+    "PIPELINE_STAGES",
+    "STAGE_RESOURCES",
+    "BatchSchedule",
+    "PipelineClock",
+    "ScheduleReport",
+]
 
 
 def simulated_time_ns(
@@ -82,6 +91,21 @@ class TimeBreakdown:
     * ``reorg_ns``    — step 5, CPU graph reorganization
     * ``comm_ns``     — multi-GPU only: cross-device collectives (ΔM
       all-reduce); always 0 on a single device
+
+    The three pipeline fields are 0 for serially executed batches and are
+    filled in by :class:`PipelineClock` when the engine models cross-batch
+    stage overlap:
+
+    * ``critical_path_ns`` — this batch's contribution to the pipelined
+      schedule's makespan (the wall the stream clock actually advanced);
+      the sum over a stream equals the schedule makespan, and per batch it
+      is ``<= total_ns`` whenever overlap hid some stage under another.
+    * ``fill_ns``  — device idle time waiting on this batch's host prep
+      (the pipeline-fill bubble: all of batch 0's prep, then any
+      steady-state stalls of a CPU-bound pipeline).
+    * ``drain_ns`` — schedule tail past this batch's last CPU-lane stage
+      if the stream stopped here (the GPU/PEER lanes draining); the
+      stream-level drain is the last batch's value.
     """
 
     update_ns: float = 0.0
@@ -90,9 +114,13 @@ class TimeBreakdown:
     match_ns: float = 0.0
     reorg_ns: float = 0.0
     comm_ns: float = 0.0
+    critical_path_ns: float = 0.0
+    fill_ns: float = 0.0
+    drain_ns: float = 0.0
 
     @property
     def total_ns(self) -> float:
+        """Sum of the stage times — the *serial* execution time."""
         return (
             self.update_ns
             + self.estimate_ns
@@ -101,6 +129,20 @@ class TimeBreakdown:
             + self.reorg_ns
             + self.comm_ns
         )
+
+    @property
+    def pipelined_ns(self) -> float:
+        """Schedule time of this batch: the critical path when a pipeline
+        clock annotated it, the serial total otherwise."""
+        return self.critical_path_ns if self.critical_path_ns else self.total_ns
+
+    @property
+    def overlap_ns(self) -> float:
+        """Stage time hidden under other stages by the pipelined schedule
+        (0 when the batch ran serially)."""
+        if not self.critical_path_ns:
+            return 0.0
+        return max(0.0, self.total_ns - self.critical_path_ns)
 
     @property
     def fe_fraction(self) -> float:
@@ -120,6 +162,9 @@ class TimeBreakdown:
             self.match_ns + other.match_ns,
             self.reorg_ns + other.reorg_ns,
             self.comm_ns + other.comm_ns,
+            self.critical_path_ns + other.critical_path_ns,
+            self.fill_ns + other.fill_ns,
+            self.drain_ns + other.drain_ns,
         )
 
     def scaled(self, factor: float) -> "TimeBreakdown":
@@ -130,4 +175,194 @@ class TimeBreakdown:
             self.match_ns * factor,
             self.reorg_ns * factor,
             self.comm_ns * factor,
+            self.critical_path_ns * factor,
+            self.fill_ns * factor,
+            self.drain_ns * factor,
         )
+
+
+# ----------------------------------------------------------------------
+# Pipelined stage scheduling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage and the resource class that executes it.
+
+    ``resource`` is one of ``"cpu"`` (the host), ``"gpu"`` (the device
+    kernel lane), or ``"peer"`` (the cross-device collective lane).  Each
+    resource executes at most one stage at a time, in batch order (FIFO
+    lanes) — the model behind :class:`PipelineClock`.
+    """
+
+    name: str
+    resource: str
+
+
+#: The five paper steps plus the multi-GPU collective, with their resource
+#: classes.  ``reorganize`` is declared *independent of the kernel*: the
+#: pipelined engine gives the reorganizer a shadow copy of the touched lists
+#: (copy-on-write store freeze) so the host can re-sort while the device is
+#: still matching the same batch — see ``docs/service.md``.
+PIPELINE_STAGES = (
+    StageSpec("update", "cpu"),
+    StageSpec("estimate", "cpu"),
+    StageSpec("pack", "cpu"),
+    StageSpec("match", "gpu"),
+    StageSpec("reorganize", "cpu"),
+    StageSpec("comm", "peer"),
+)
+
+#: resource class by stage name (convenience for reporting)
+STAGE_RESOURCES = {spec.name: spec.resource for spec in PIPELINE_STAGES}
+
+
+@dataclass(frozen=True)
+class BatchSchedule:
+    """Where one batch's stages landed on the pipelined timeline."""
+
+    index: int
+    start_ns: dict[str, float]
+    end_ns: dict[str, float]
+    #: makespan contribution: finish(k) - finish(k-1) (sums to the makespan)
+    critical_path_ns: float
+    #: device idle time waiting on this batch's host prep (fill bubble)
+    fill_ns: float
+    #: schedule tail past this batch's reorganize if the stream stopped here
+    drain_ns: float
+
+    @property
+    def finish_ns(self) -> float:
+        return max(self.end_ns.values())
+
+
+class PipelineClock:
+    """Incremental scheduler for the staged per-batch pipeline.
+
+    Models the overlapped execution the real engine performs: batch *k+1*'s
+    CPU stages (update → estimate → pack) run while batch *k* is still
+    matching on the device.  Dependencies:
+
+    * CPU lane, FIFO: ``update(k) → estimate(k) → pack(k) → reorganize(k)``
+      then ``update(k+1)`` — the host store is serial.
+    * ``match(k)`` starts after ``pack(k)`` (its cache must be shipped) and
+      after ``match(k-1)`` (one in-order kernel lane per device fleet).
+    * ``comm(k)`` (ΔM all-reduce) follows ``match(k)`` on the PEER lane.
+    * ``reorganize(k)`` does **not** wait for ``match(k)``: the store
+      freeze hands the kernel an immutable view, so the host re-sorts
+      immediately after packing (the same order the threaded engine
+      executes for real).
+
+    Feed each batch's serial stage durations to :meth:`advance`; it returns
+    the batch's placement and mutates nothing outside the clock.  All times
+    are simulated nanoseconds.
+    """
+
+    def __init__(self) -> None:
+        self.cpu_ns = 0.0
+        self.gpu_ns = 0.0
+        self.peer_ns = 0.0
+        self.num_batches = 0
+        self.serial_ns = 0.0  # Σ stage durations (the no-overlap execution)
+        self.makespan_ns = 0.0
+        self.fill_ns = 0.0
+        self.drain_ns = 0.0
+
+    def advance(self, breakdown: TimeBreakdown) -> BatchSchedule:
+        """Place one batch's stages on the lanes; returns its schedule."""
+        prev_finish = self.makespan_ns
+        start: dict[str, float] = {}
+        end: dict[str, float] = {}
+
+        # CPU lane: update → estimate → pack → reorganize, contiguous FIFO
+        t = self.cpu_ns
+        for name, dur in (
+            ("update", breakdown.update_ns),
+            ("estimate", breakdown.estimate_ns),
+            ("pack", breakdown.pack_ns),
+        ):
+            start[name] = t
+            t += dur
+            end[name] = t
+        # GPU lane: after this batch's pack and the previous match
+        start["match"] = max(self.gpu_ns, end["pack"])
+        fill = max(0.0, start["match"] - self.gpu_ns)  # device waited on prep
+        end["match"] = start["match"] + breakdown.match_ns
+        self.gpu_ns = end["match"]
+        # reorganize continues on the CPU lane right after pack (shadow-copy
+        # isolation lets it overlap this batch's own match)
+        start["reorganize"] = t
+        t += breakdown.reorg_ns
+        end["reorganize"] = t
+        self.cpu_ns = t
+        # PEER lane: collective after the kernel drains
+        start["comm"] = max(self.peer_ns, end["match"])
+        end["comm"] = start["comm"] + breakdown.comm_ns
+        self.peer_ns = end["comm"]
+
+        finish = max(end.values())
+        drain = max(0.0, finish - end["reorganize"])
+        self.num_batches += 1
+        self.serial_ns += breakdown.total_ns
+        self.makespan_ns = max(self.makespan_ns, finish)
+        self.fill_ns += fill
+        self.drain_ns = drain  # stream drain = the last batch's tail
+        return BatchSchedule(
+            index=self.num_batches - 1,
+            start_ns=start,
+            end_ns=end,
+            critical_path_ns=max(0.0, self.makespan_ns - prev_finish),
+            fill_ns=fill,
+            drain_ns=drain,
+        )
+
+    def annotate(self, breakdown: TimeBreakdown) -> BatchSchedule:
+        """:meth:`advance` + write the pipeline fields into ``breakdown``."""
+        sched = self.advance(breakdown)
+        breakdown.critical_path_ns = sched.critical_path_ns
+        breakdown.fill_ns = sched.fill_ns
+        breakdown.drain_ns = sched.drain_ns
+        return sched
+
+    def report(self) -> "ScheduleReport":
+        return ScheduleReport(
+            num_batches=self.num_batches,
+            serial_ns=self.serial_ns,
+            makespan_ns=self.makespan_ns,
+            fill_ns=self.fill_ns,
+            drain_ns=self.drain_ns,
+            lane_ns={"cpu": self.cpu_ns, "gpu": self.gpu_ns, "peer": self.peer_ns},
+        )
+
+
+@dataclass
+class ScheduleReport:
+    """Stream-level summary of a pipelined schedule."""
+
+    num_batches: int
+    serial_ns: float
+    makespan_ns: float
+    fill_ns: float
+    drain_ns: float
+    lane_ns: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overlap_ns(self) -> float:
+        """Total stage time hidden by the schedule (serial - makespan)."""
+        return max(0.0, self.serial_ns - self.makespan_ns)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-over-pipelined time ratio (>= 1 by construction)."""
+        return self.serial_ns / self.makespan_ns if self.makespan_ns else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "num_batches": self.num_batches,
+            "serial_ns": self.serial_ns,
+            "makespan_ns": self.makespan_ns,
+            "overlap_ns": self.overlap_ns,
+            "fill_ns": self.fill_ns,
+            "drain_ns": self.drain_ns,
+            "speedup": self.speedup,
+            "lane_ns": dict(self.lane_ns),
+        }

@@ -45,7 +45,12 @@ from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import CanonicalReport, UpdateBatch
 from repro.utils import VERTEX_DTYPE, merge_sorted, require
 
-__all__ = ["DynamicGraph", "ReorganizeStats", "merge_runs_reference"]
+__all__ = [
+    "DynamicGraph",
+    "FrozenDynamicGraph",
+    "ReorganizeStats",
+    "merge_runs_reference",
+]
 
 _EMPTY = np.empty(0, dtype=VERTEX_DTYPE)
 
@@ -131,6 +136,13 @@ class DynamicGraph:
         self._num_edges = initial.num_edges
         #: classification of the most recent :meth:`apply_batch` input
         self.last_canonical_report: CanonicalReport | None = None
+        # copy-on-write freeze support (see :meth:`freeze`): while any
+        # frozen view is live, the first in-place mutation of a vertex's
+        # array since the latest freeze replaces it with a private copy so
+        # frozen readers keep seeing the epoch they captured.
+        self._active_freezes = 0
+        self._freeze_serial = 0
+        self._owner_serial: list[int] = [0] * n
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -306,6 +318,42 @@ class DynamicGraph:
         return False
 
     # ------------------------------------------------------------------
+    # copy-on-write freeze (pipelined execution support)
+    # ------------------------------------------------------------------
+    def freeze(self) -> "FrozenDynamicGraph":
+        """Capture an immutable logical view of the current store state.
+
+        The frozen view shares the per-vertex arrays with the live store;
+        any later in-place mutation (deletion marks, ΔN appends/sorts,
+        reorganize merges) first replaces the affected array with a private
+        copy, so the view keeps reading the exact epoch it captured — at the
+        cost of copying only the lists the subsequent batches actually
+        touch.  This is what lets the pipelined engine run the matching
+        kernel of batch *k* on a worker thread while the host reorganizes
+        batch *k* and applies batch *k+1* (the software analog of the
+        double-buffered pinned arrays a real host-device pipeline uses).
+
+        Call :meth:`FrozenDynamicGraph.release` (or use the view as a
+        context manager) once the reader is done, so the store can drop the
+        copy-on-write guard and return to zero-overhead mutation.
+        """
+        self._freeze_serial += 1
+        self._active_freezes += 1
+        return FrozenDynamicGraph(self)
+
+    def _release_freeze(self) -> None:
+        require(self._active_freezes > 0, "no active freeze to release")
+        self._active_freezes -= 1
+
+    def _cow(self, v: int) -> np.ndarray:
+        """Make ``v``'s array private to the live store if a freeze holds a
+        reference to it; returns the (possibly replaced) array."""
+        if self._active_freezes and self._owner_serial[v] < self._freeze_serial:
+            self._arrays[v] = self._arrays[v].copy()
+            self._owner_serial[v] = self._freeze_serial
+        return self._arrays[v]
+
+    # ------------------------------------------------------------------
     # update protocol
     # ------------------------------------------------------------------
     def apply_batch(self, batch: UpdateBatch, mode: str = "strict") -> UpdateBatch:
@@ -374,6 +422,7 @@ class DynamicGraph:
                 continue  # list already settled (e.g. a cancelled ΔN delete)
             merged = merge_sorted(kept, delta) if delta.size else kept
             new_len = merged.size
+            arr = self._cow(v)  # frozen kernels keep reading the old layout
             if new_len > arr.size:  # pragma: no cover - capacity always suffices
                 arr = self._reallocate(v, new_len)
             arr[:new_len] = merged
@@ -393,6 +442,8 @@ class DynamicGraph:
             self._arrays.append(np.empty(cap, dtype=VERTEX_DTYPE))
             self._base_len.append(0)
             self._total_len.append(0)
+            # fresh arrays are private: no frozen view references them
+            self._owner_serial.append(self._freeze_serial)
         grown_labels = np.zeros(new_count, dtype=np.int64)
         grown_labels[:old] = self._labels
         if new_labels:
@@ -406,7 +457,7 @@ class DynamicGraph:
         self.device_address = addr.copy()
 
     def _append_neighbor(self, u: int, v: int) -> None:
-        arr = self._arrays[u]
+        arr = self._cow(u)
         pos = self._total_len[u]
         if pos >= arr.size:
             arr = self._reallocate(u, 2 * max(1, arr.size))
@@ -419,11 +470,12 @@ class DynamicGraph:
         arr = np.empty(max(new_cap, old.size), dtype=VERTEX_DTYPE)
         arr[: self._total_len[v]] = old[: self._total_len[v]]
         self._arrays[v] = arr
+        self._owner_serial[v] = self._freeze_serial  # replacement is private
         self._realloc_count += 1
         return arr
 
     def _mark_deleted(self, u: int, v: int) -> None:
-        arr = self._arrays[u]
+        arr = self._cow(u)
         base = arr[: self._base_len[u]]
         decoded = _decode(base) if (base.size and base.min() < 0) else base
         pos = int(np.searchsorted(decoded, v))
@@ -549,4 +601,78 @@ class DynamicGraph:
         return (
             f"DynamicGraph(n={self.num_vertices}, m={self.num_edges}, "
             f"open_batch={self._batch_open}, touched={len(self._touched)})"
+        )
+
+
+class FrozenDynamicGraph(DynamicGraph):
+    """Immutable logical snapshot of a :class:`DynamicGraph` epoch.
+
+    Created by :meth:`DynamicGraph.freeze`.  Shares the parent's per-vertex
+    arrays (zero copies at capture time) and relies on the parent's
+    copy-on-write guard to keep every shared array byte-stable: the parent
+    replaces an array with a private copy before its first post-freeze
+    mutation, so reads through this view always see the captured epoch.
+
+    Every read-side accessor of :class:`DynamicGraph` (``neighbors_old`` /
+    ``neighbors_new_parts`` / ``packed_runs`` / ``snapshot`` / ...) works
+    unchanged because the view carries its own copies of the length tables
+    and batch bookkeeping.  Mutators (:meth:`apply_batch`,
+    :meth:`reorganize`, :meth:`freeze`) are blocked.
+    """
+
+    def __init__(self, parent: DynamicGraph) -> None:
+        # Deliberately does NOT chain to DynamicGraph.__init__: the view
+        # aliases the parent's arrays instead of building fresh ones.
+        self._parent = parent
+        self._released = False
+        self._labels = parent._labels
+        self._arrays = list(parent._arrays)  # shallow: shares the ndarrays
+        self._base_len = list(parent._base_len)
+        self._total_len = list(parent._total_len)
+        self._realloc_count = parent._realloc_count
+        self._avg_degree = parent._avg_degree
+        self.host_address = parent.host_address
+        self.device_address = parent.device_address
+        self._touched = set(parent._touched)
+        self._batch_open = parent._batch_open
+        self._num_edges = parent._num_edges
+        self.last_canonical_report = parent.last_canonical_report
+        # the view itself never mutates, so its own COW machinery is inert
+        self._active_freezes = 0
+        self._freeze_serial = 0
+        self._owner_serial = []
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop the parent's copy-on-write guard for this view (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._parent._release_freeze()
+
+    def __enter__(self) -> "FrozenDynamicGraph":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # -- mutators are blocked ------------------------------------------
+    def apply_batch(self, batch: UpdateBatch, mode: str = "strict") -> UpdateBatch:
+        require(False, "frozen view is immutable (apply_batch)")
+        raise AssertionError  # pragma: no cover - require always raises
+
+    def reorganize(self) -> ReorganizeStats:
+        require(False, "frozen view is immutable (reorganize)")
+        raise AssertionError  # pragma: no cover - require always raises
+
+    def freeze(self) -> "FrozenDynamicGraph":
+        require(False, "cannot freeze a frozen view; freeze the live store")
+        raise AssertionError  # pragma: no cover - require always raises
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenDynamicGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"open_batch={self._batch_open}, released={self._released})"
         )

@@ -52,7 +52,7 @@ from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
-from repro.gpu.clock import TimeBreakdown, simulated_time_ns
+from repro.gpu.clock import PipelineClock, ScheduleReport, TimeBreakdown, simulated_time_ns
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import ClusterConfig, DeviceConfig, default_device
 from repro.multigpu.comm import CommReport, allreduce_delta_ns, comm_report
@@ -200,6 +200,14 @@ class MultiGpuEngine:
     cache_budget_bytes:
         Per-device budget: every card in the fleet has its own buffer of
         this size (aggregate fleet cache capacity grows with N).
+    pipeline:
+        Model the staged cross-batch schedule in simulated time: a
+        :class:`~repro.gpu.clock.PipelineClock` annotates every batch's
+        breakdown with ``critical_path_ns``/``fill_ns``/``drain_ns`` (the
+        fleet-wide match phase is one GPU-lane entry, the ΔM all-reduce
+        rides the PEER lane).  Results are unaffected — only the time
+        accounting changes, exactly as for
+        :class:`~repro.service.pipeline.PipelinedEngine`.
     """
 
     def __init__(
@@ -220,6 +228,7 @@ class MultiGpuEngine:
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        pipeline: bool = False,
     ) -> None:
         if isinstance(devices, ClusterConfig):
             self.cluster = devices
@@ -257,6 +266,12 @@ class MultiGpuEngine:
         ]
         self.batches_processed = 0
         self.total_delta = 0
+        self.clock: PipelineClock | None = PipelineClock() if pipeline else None
+
+    def schedule_report(self) -> ScheduleReport:
+        """Stream-level pipeline schedule summary (``pipeline=True`` only)."""
+        require(self.clock is not None, "engine built without pipeline=True")
+        return self.clock.report()
 
     # ------------------------------------------------------------------
     def process_batch(self, batch: UpdateBatch) -> MultiBatchResult:
@@ -364,6 +379,8 @@ class MultiGpuEngine:
         )
         comm = comm_report([o.counters for o in outcomes], breakdown.comm_ns)
 
+        if self.clock is not None:
+            self.clock.annotate(breakdown)
         self.batches_processed += 1
         self.total_delta += total_stats.signed_count
         return MultiBatchResult(

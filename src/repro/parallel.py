@@ -18,21 +18,44 @@ the same way.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
 import numpy as np
 
 from repro.utils import require
 
-__all__ = ["default_workers", "parallel_map", "parallel_root_partition", "chunked"]
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "parallel_root_partition",
+    "chunked",
+    "TaskHandle",
+    "submit",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
 def default_workers() -> int:
-    """Worker count: CPU count capped at 8 (experiment legs are coarse)."""
+    """Worker count: CPU count capped at 8 (experiment legs are coarse).
+
+    The ``REPRO_WORKERS`` environment variable overrides the probe — the
+    service harness records the effective value in its results JSON so a
+    run's parallelism is reproducible from the artifact alone.  Invalid or
+    non-positive values are ignored (the probe wins), so a stray setting
+    can never wedge the harness.
+    """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            forced = int(env)
+        except ValueError:
+            forced = 0
+        if forced >= 1:
+            return forced
     return max(1, min(8, os.cpu_count() or 1))
 
 
@@ -64,16 +87,68 @@ def parallel_map(
         return [f.result() for f in futures]
 
 
-def chunked(items: Sequence[T], num_chunks: int) -> list[Sequence[T]]:
-    """Split ``items`` into at most ``num_chunks`` contiguous, balanced runs."""
+def chunked(
+    items: Sequence[T], num_chunks: int, *, pad: bool = False
+) -> list[Sequence[T]]:
+    """Split ``items`` into at most ``num_chunks`` contiguous, balanced runs.
+
+    With ``pad=True`` the result always has exactly ``num_chunks`` entries,
+    the tail padded with empty slices — what fixed-width pipeline stages
+    need when ``num_chunks > len(items)`` or the stage receives zero items
+    (every lane still gets a well-formed, possibly empty, work list).
+    """
     require(num_chunks >= 1, "num_chunks must be >= 1")
     n = len(items)
     if n == 0:
-        return []
-    num_chunks = min(num_chunks, n)
-    bounds = np.linspace(0, n, num_chunks + 1).astype(int)
-    return [items[bounds[i] : bounds[i + 1]] for i in range(num_chunks)
-            if bounds[i] < bounds[i + 1]]
+        return [items[0:0] for _ in range(num_chunks)] if pad else []
+    effective = min(num_chunks, n)
+    bounds = np.linspace(0, n, effective + 1).astype(int)
+    chunks = [items[bounds[i] : bounds[i + 1]] for i in range(effective)
+              if bounds[i] < bounds[i + 1]]
+    if pad and len(chunks) < num_chunks:
+        chunks.extend(items[0:0] for _ in range(num_chunks - len(chunks)))
+    return chunks
+
+
+class TaskHandle(Generic[R]):
+    """One background task on its own (daemon) worker thread.
+
+    The pipelined engine uses this as its device lane: the GPU match of
+    batch *k* runs here while the host thread reorganizes and prepares
+    batch *k+1*.  Unlike a pooled future, the thread ends with the task, so
+    engines created in bulk (property tests spawn hundreds) never
+    accumulate idle workers.  :meth:`result` joins and re-raises any
+    exception the task raised.
+    """
+
+    def __init__(self, fn: Callable[..., R], /, *args, **kwargs) -> None:
+        self._value: R | None = None
+        self._error: BaseException | None = None
+
+        def run() -> None:
+            try:
+                self._value = fn(*args, **kwargs)
+            except BaseException as exc:  # re-raised on join
+                self._error = exc
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+
+    def done(self) -> bool:
+        return not self._thread.is_alive()
+
+    def result(self) -> R:
+        """Join the worker and return the task's value (or re-raise)."""
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+
+def submit(fn: Callable[..., R], /, *args, **kwargs) -> TaskHandle[R]:
+    """Run ``fn(*args, **kwargs)`` on a fresh worker thread; returns its
+    :class:`TaskHandle`."""
+    return TaskHandle(fn, *args, **kwargs)
 
 
 def parallel_root_partition(

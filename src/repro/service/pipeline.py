@@ -1,0 +1,173 @@
+"""The pipelined batch engine: staged, overlapped execution of Fig. 3.
+
+The serial :class:`~repro.core.engine.GCSMEngine` runs the five steps of
+every batch back to back.  The paper's system (and GPU batch-dynamic
+matchers generally) instead overlap host-side preparation with device-side
+matching: while the kernel matches batch *k*, the host already reorganizes
+batch *k*'s lists and updates/estimates/packs batch *k+1*.
+
+:class:`PipelinedEngine` implements that schedule on the stage methods the
+serial engine exposes (``_stage_update`` .. ``_stage_reorganize``), in two
+coupled ways:
+
+* **Simulated time** — a :class:`~repro.gpu.clock.PipelineClock` places each
+  batch's stage durations on FIFO CPU/GPU/PEER lanes and annotates the
+  batch's :class:`~repro.gpu.clock.TimeBreakdown` with ``critical_path_ns``
+  / ``fill_ns`` / ``drain_ns``.  The per-batch critical path sums to the
+  schedule makespan, which is what the service layer charges a device for.
+* **Wall clock** — the GPU match really runs on a
+  :func:`repro.parallel.submit` worker thread against a
+  :meth:`~repro.graphs.dynamic_graph.DynamicGraph.freeze` of the store
+  (copy-on-write isolation), while the host thread runs reorganize and the
+  next batch's CPU stages concurrently.
+
+**Bit-parity contract.**  Per-batch ΔM, ``MatchStats``, access counters,
+cache selection, estimator output, and the final store are identical to the
+serial engine on any stream, because
+
+1. the frozen view the kernel reads *is* the store state the serial kernel
+   would have read (captured after update/pack, before reorganize);
+2. reorganize consumes only batch *k*'s touch-set, which the kernel never
+   mutates; and
+3. the estimator's RNG is consumed in the same order (all CPU stages stay
+   serialized on the host thread).
+
+Only the three pipeline fields of the breakdown differ from the serial
+engine (they are zero there); ``total_ns`` and every stage time are equal.
+The differential stream fuzzer enforces this via the ``"Pipelined"`` system
+spec in :mod:`repro.core.validation`.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import BatchResult, GCSMEngine
+from repro.gpu.clock import PipelineClock, ScheduleReport, TimeBreakdown
+from repro.parallel import submit
+from repro.query.pattern import QueryGraph  # noqa: F401  (doc cross-ref)
+from repro.utils import require
+
+__all__ = ["PipelinedEngine"]
+
+
+class PipelinedEngine(GCSMEngine):
+    """GCSM with cross-batch stage overlap (same results, different clock).
+
+    Accepts every :class:`~repro.core.engine.GCSMEngine` parameter plus:
+
+    threaded:
+        Run the GPU match stage on a real worker thread overlapping the
+        host stages (the default).  ``False`` keeps execution single-
+        threaded — the simulated-time pipeline model still applies, so
+        results and annotated breakdowns are identical either way; only
+        the harness wall clock changes.
+    """
+
+    name = "Pipelined"
+
+    def __init__(self, *args, threaded: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.threaded = threaded
+        self.clock = PipelineClock()
+
+    # ------------------------------------------------------------------
+    def process_batch(self, batch) -> BatchResult:
+        """One batch through the staged pipeline.
+
+        Within the batch, reorganize overlaps the match (the kernel reads a
+        frozen epoch); across :meth:`process_batch` calls the pipeline
+        clock keeps modeling cross-batch overlap, because its lanes persist
+        on the engine.  For real cross-batch wall-clock overlap, feed whole
+        streams to :meth:`process_stream`.
+        """
+        require(len(batch) > 0, "empty batch")
+        breakdown = TimeBreakdown()
+        batch, breakdown.update_ns = self._stage_update(batch)
+        conflicts = self.graph.last_canonical_report
+        estimation, breakdown.estimate_ns = self._stage_estimate(batch)
+        selected, cache, breakdown.pack_ns = self._stage_pack(estimation)
+        if self.threaded:
+            with self.graph.freeze() as frozen:
+                task = submit(self._stage_match, batch, cache, frozen)
+                breakdown.reorg_ns = self._stage_reorganize()
+                stats, match_counters, view, breakdown.match_ns = task.result()
+        else:
+            stats, match_counters, view, breakdown.match_ns = self._stage_match(
+                batch, cache
+            )
+            breakdown.reorg_ns = self._stage_reorganize()
+        return self._finish_batch(
+            breakdown, stats, match_counters, view, estimation,
+            selected, cache, conflicts,
+        )
+
+    def process_stream(self, batches) -> list[BatchResult]:
+        """Software-pipelined stream execution.
+
+        While the device lane matches batch *k* (on its worker thread,
+        against the frozen epoch), the host thread reorganizes *k* and runs
+        update/estimate/pack of *k+1* — the schedule
+        :class:`~repro.gpu.clock.PipelineClock` models.  Results are
+        collected in batch order, so the returned list is exactly what the
+        serial engine would have produced.
+        """
+        if not self.threaded:
+            return [self.process_batch(b) for b in batches]
+        results: list[BatchResult] = []
+        inflight = None
+        for raw in batches:
+            require(len(raw) > 0, "empty batch")
+            breakdown = TimeBreakdown()
+            batch, breakdown.update_ns = self._stage_update(raw)
+            conflicts = self.graph.last_canonical_report
+            estimation, breakdown.estimate_ns = self._stage_estimate(batch)
+            selected, cache, breakdown.pack_ns = self._stage_pack(estimation)
+            frozen = self.graph.freeze()
+            task = submit(self._stage_match, batch, cache, frozen)
+            # host continues immediately: the freeze isolates the kernel
+            breakdown.reorg_ns = self._stage_reorganize()
+            if inflight is not None:
+                results.append(self._collect(*inflight))
+            inflight = (
+                task, frozen, breakdown, estimation, selected, cache, conflicts,
+            )
+        if inflight is not None:
+            results.append(self._collect(*inflight))
+        return results
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self, task, frozen, breakdown, estimation, selected, cache, conflicts
+    ) -> BatchResult:
+        try:
+            stats, match_counters, view, breakdown.match_ns = task.result()
+        finally:
+            frozen.release()
+        return self._finish_batch(
+            breakdown, stats, match_counters, view, estimation,
+            selected, cache, conflicts,
+        )
+
+    def _finish_batch(
+        self, breakdown, stats, match_counters, view, estimation,
+        selected, cache, conflicts,
+    ) -> BatchResult:
+        self.clock.annotate(breakdown)
+        self.batches_processed += 1
+        self.total_delta += stats.signed_count
+        return BatchResult(
+            delta_count=stats.signed_count,
+            match_stats=stats,
+            breakdown=breakdown,
+            match_counters=match_counters,
+            estimation=estimation,
+            cached_vertices=selected,
+            cache_bytes=cache.total_bytes,
+            cache_hits=view.hits,
+            cache_misses=view.misses,
+            conflicts=conflicts,
+        )
+
+    # ------------------------------------------------------------------
+    def schedule_report(self) -> ScheduleReport:
+        """Stream-level pipeline schedule summary (makespan, overlap, fill/drain)."""
+        return self.clock.report()

@@ -49,7 +49,9 @@ class TestAgreement:
             make_system("FPGA", g0, TRIANGLE)
 
     def test_system_names_registry(self):
-        assert set(SYSTEM_NAMES) == {"GCSM", "ZC", "UM", "Naive", "VSGM", "CPU"}
+        assert set(SYSTEM_NAMES) == {
+            "GCSM", "Pipelined", "ZC", "UM", "Naive", "VSGM", "CPU",
+        }
 
 
 class TestCostShape:

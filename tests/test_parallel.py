@@ -5,11 +5,29 @@ import threading
 import numpy as np
 import pytest
 
-from repro.parallel import chunked, default_workers, parallel_map, parallel_root_partition
+from repro.parallel import (
+    chunked,
+    default_workers,
+    parallel_map,
+    parallel_root_partition,
+    submit,
+)
 
 
 class TestDefaultWorkers:
-    def test_bounds(self):
+    def test_bounds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert 1 <= default_workers() <= 8
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "13")
+        assert default_workers() == 13
+        monkeypatch.setenv("REPRO_WORKERS", " 2 ")
+        assert default_workers() == 2
+
+    @pytest.mark.parametrize("bogus", ["", "0", "-4", "many", "3.5"])
+    def test_invalid_env_ignored(self, monkeypatch, bogus):
+        monkeypatch.setenv("REPRO_WORKERS", bogus)
         assert 1 <= default_workers() <= 8
 
 
@@ -85,6 +103,53 @@ class TestChunked:
     def test_rejects_zero(self):
         with pytest.raises(ValueError):
             chunked([1], 0)
+
+    def test_pad_fixes_width_when_chunks_exceed_items(self):
+        chunks = chunked([1, 2], 5, pad=True)
+        assert len(chunks) == 5
+        assert [list(c) for c in chunks] == [[1], [2], [], [], []]
+
+    def test_pad_empty_input_yields_all_empty_lanes(self):
+        chunks = chunked([], 4, pad=True)
+        assert len(chunks) == 4
+        assert all(len(c) == 0 for c in chunks)
+
+    def test_pad_noop_when_items_fill_every_chunk(self):
+        assert chunked(list(range(10)), 3, pad=True) == chunked(list(range(10)), 3)
+
+    def test_pad_preserves_sequence_type(self):
+        chunks = chunked(np.arange(3), 5, pad=True)
+        assert len(chunks) == 5
+        assert all(isinstance(c, np.ndarray) for c in chunks)
+        assert np.array_equal(np.concatenate(chunks), np.arange(3))
+
+
+class TestSubmit:
+    def test_runs_off_the_calling_thread(self):
+        names = []
+
+        def task():
+            names.append(threading.current_thread().name)
+            return 42
+
+        handle = submit(task)
+        assert handle.result() == 42
+        assert handle.done()
+        assert names and names[0] != threading.main_thread().name
+
+    def test_result_reraises(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            submit(boom).result()
+
+    def test_args_and_kwargs_forwarded(self):
+        assert submit(lambda a, b=0: a + b, 2, b=3).result() == 5
+
+    def test_result_is_idempotent(self):
+        handle = submit(lambda: [1, 2])
+        assert handle.result() is handle.result()
 
 
 class TestRootPartition:

@@ -1,0 +1,132 @@
+"""Property tests: the pipelined engine is bit-identical to the serial one.
+
+The contract (docs/service.md): for any stream, executor pair, estimator
+pair, and conflict mode, :class:`~repro.service.pipeline.PipelinedEngine`
+produces the same per-batch ΔM, match stats, counters, cache decisions, and
+final store as :class:`~repro.core.engine.GCSMEngine` — overlap only changes
+*when* work runs, never *what* it computes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import GCSMEngine
+from repro.core.matching import EXECUTORS
+from repro.core.frequency import ESTIMATORS
+from repro.core.validation import (
+    DEFAULT_FUZZ_SYSTEMS,
+    fuzz_verify,
+    generate_adversarial_stream,
+    verify_stream,
+)
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.stream import CONFLICT_MODES
+from repro.query import QUERIES, QueryGraph
+from repro.service import PipelinedEngine
+
+TRIANGLE = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+def _final_state(engine):
+    snap = engine.snapshot()
+    return snap.labels.tolist(), sorted(map(tuple, snap.edge_array()))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    executor=st.sampled_from(EXECUTORS),
+    estimator=st.sampled_from(ESTIMATORS),
+    conflict_mode=st.sampled_from([m for m in CONFLICT_MODES if m != "strict"]),
+    threaded=st.booleans(),
+)
+def test_pipelined_engine_bit_parity(seed, executor, estimator, conflict_mode,
+                                     threaded):
+    rng = np.random.default_rng(seed)
+    g = erdos_renyi(30, 5.0, num_labels=2, seed=rng)
+    batches = generate_adversarial_stream(
+        g, num_batches=3, batch_size=10, seed=seed + 1
+    )
+    kwargs = dict(
+        executor=executor, estimator=estimator,
+        conflict_mode=conflict_mode, seed=seed,
+    )
+    serial = GCSMEngine(g, TRIANGLE, **kwargs)
+    piped = PipelinedEngine(g, TRIANGLE, threaded=threaded, **kwargs)
+    ser = [serial.process_batch(b) for b in batches]
+    pip = piped.process_stream(batches)
+    for a, b in zip(ser, pip):
+        assert a.delta_count == b.delta_count
+        assert a.match_stats == b.match_stats
+        assert a.match_counters.summary() == b.match_counters.summary()
+        assert np.array_equal(a.cached_vertices, b.cached_vertices)
+        assert (a.cache_hits, a.cache_misses, a.cache_bytes) == \
+            (b.cache_hits, b.cache_misses, b.cache_bytes)
+        # same simulated stage costs; the pipeline only re-times them
+        assert a.breakdown.total_ns == b.breakdown.total_ns
+    assert _final_state(serial) == _final_state(piped)
+    piped.graph.check_invariants()
+    assert piped.graph._active_freezes == 0  # no leaked COW epochs
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_strict_mode_raises_identically(seed):
+    # strict mode rejects adversarial batches: both engines must raise the
+    # same way at the same batch, leaving their stores in step
+    from repro.graphs.stream import BatchConflictError
+
+    rng = np.random.default_rng(seed)
+    g = erdos_renyi(24, 5.0, num_labels=2, seed=rng)
+    batches = generate_adversarial_stream(
+        g, num_batches=2, batch_size=8, seed=seed + 1
+    )
+    serial = GCSMEngine(g, TRIANGLE, conflict_mode="strict", seed=seed)
+    piped = PipelinedEngine(g, TRIANGLE, conflict_mode="strict", seed=seed)
+    for batch in batches:
+        a_exc = b_exc = None
+        try:
+            a = serial.process_batch(batch)
+        except BatchConflictError as exc:
+            a_exc = str(exc)
+        try:
+            b = piped.process_batch(batch)
+        except BatchConflictError as exc:
+            b_exc = str(exc)
+        assert (a_exc is None) == (b_exc is None)
+        if a_exc is not None:
+            assert a_exc == b_exc
+            break  # stores diverge from a half-applied batch; stop here
+        assert a.delta_count == b.delta_count
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_verify_stream_accepts_pipelined_system(seed):
+    rng = np.random.default_rng(seed)
+    g = erdos_renyi(24, 4.0, num_labels=2, seed=rng)
+    batches = generate_adversarial_stream(
+        g, num_batches=3, batch_size=8, seed=seed + 1
+    )
+    query = [QUERIES["Q1"], QUERIES["Q2"]][seed % 2]
+    report = verify_stream(
+        ["GCSM", "Pipelined"], g, query, batches,
+        against_oracle=True, check_invariants=True,
+        conflict_mode="coalesce", seed=seed,
+    )
+    assert len(report.delta_per_batch) == 3  # raises on any disagreement
+
+
+def test_pipelined_in_default_fuzz_systems():
+    assert "Pipelined" in DEFAULT_FUZZ_SYSTEMS
+
+
+def test_fuzz_smoke_with_pipelined():
+    report = fuzz_verify(
+        2, systems=["GCSM", "Pipelined", "CPU"], seed=42,
+        num_batches=3, batch_size=10,
+    )
+    assert report.num_cases == 2  # raises on any disagreement
+    assert len(report.case_seeds) == 2
+    assert report.total_batches == 6
