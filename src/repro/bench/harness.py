@@ -107,6 +107,16 @@ class RunResult:
     # -- multi-query (rulebook) extras -------------------------------------
     shared: bool | None = None  # shared trie execution vs per-query loop
     rulebook_size: int | None = None  # number of standing queries
+    # -- aggregate-invariant pre-filter extras (None/0 when disabled) ------
+    prefilter: str | None = None  # "invariant" when the certified skip ran
+    batches_skipped: int = 0  # batches certified ΔM = 0 (summed)
+    roots_skipped: int = 0  # roots dropped by dominance masks (summed)
+    queries_skipped: int = 0  # rulebook entries certified ΔM = 0 (summed)
+
+    @property
+    def batch_skip_rate(self) -> float:
+        """Fraction of batches the pre-filter certified away entirely."""
+        return self.batches_skipped / max(1, self.num_batches)
 
     @property
     def total_ms(self) -> float:
@@ -161,6 +171,7 @@ def run_stream(
     allreduce_ns = 0.0
     imbalances: list[float] = []
     lb_reports: list[dict] = []
+    pf_batches = pf_roots = pf_queries = 0
     for batch in batches:
         result: BatchResult = system.process_batch(batch)
         agg_breakdown = agg_breakdown + result.breakdown
@@ -183,6 +194,11 @@ def run_stream(
         if comm is not None:
             peer_bytes += comm.peer_bytes
             allreduce_ns += comm.allreduce_ns
+        pf = getattr(result, "prefilter", None)
+        if pf is not None:
+            pf_batches += pf.batches_skipped
+            pf_roots += pf.roots_skipped
+            pf_queries += pf.queries_skipped
 
     n = max(1, len(batches))
     return RunResult(
@@ -208,6 +224,14 @@ def run_stream(
         allreduce_ns=allreduce_ns,
         imbalance=float(np.mean(imbalances)) if imbalances else None,
         load_balance=lb_reports,
+        prefilter=(
+            name
+            if (name := getattr(system, "prefilter_name", "off")) != "off"
+            else None
+        ),
+        batches_skipped=pf_batches,
+        roots_skipped=pf_roots,
+        queries_skipped=pf_queries,
     )
 
 
@@ -247,6 +271,7 @@ def run_rulebook_stream(
     cpu_bytes = 0
     cache_bytes = 0
     hits = misses = 0
+    pf_batches = pf_roots = pf_queries = 0
     for batch in batches:
         result: MultiBatchResult = engine.process_batch(batch)
         agg_breakdown = agg_breakdown + result.breakdown
@@ -259,6 +284,10 @@ def run_rulebook_stream(
         cache_bytes += result.cache_bytes
         hits += result.cache_hits
         misses += result.cache_misses
+        if result.prefilter is not None:
+            pf_batches += result.prefilter.batches_skipped
+            pf_roots += result.prefilter.roots_skipped
+            pf_queries += result.prefilter.queries_skipped
 
     n = max(1, len(batches))
     return RunResult(
@@ -278,6 +307,10 @@ def run_rulebook_stream(
         conflict_mode=engine.conflict_mode,
         shared=shared,
         rulebook_size=len(queries),
+        prefilter=engine.prefilter_name if engine.prefilter_name != "off" else None,
+        batches_skipped=pf_batches,
+        roots_skipped=pf_roots,
+        queries_skipped=pf_queries,
     )
 
 

@@ -110,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "phantom deletes / same-batch churn: strict "
                             "(raise), coalesce (last-occurrence-wins netting; "
                             "engine default), ignore (first-occurrence wins)")
+    run_p.add_argument("--prefilter", default=None, choices=["on", "off"],
+                       help="aggregate-invariant pre-filter: certify ΔM = 0 "
+                            "batches/roots and skip estimation, packing, and "
+                            "the kernel before they run (default: off)")
     run_p.add_argument("--json", metavar="PATH", default=None,
                        help="export the record as JSON")
 
@@ -155,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv_p.add_argument("--no-pipeline", dest="pipeline", action="store_false",
                        help="serial per-batch engines instead of the "
                             "pipelined (overlapped) engine")
+    srv_p.add_argument("--prefilter", default=None, choices=["on", "off"],
+                       help="enable the aggregate-invariant pre-filter on "
+                            "every tenant engine (default: off)")
     srv_p.add_argument("--seed", type=int, default=0)
     srv_p.add_argument("--json", metavar="PATH", default=None,
                        help="persist the machine-readable service report")
@@ -230,6 +237,8 @@ def _cmd_run_rulebook(args: argparse.Namespace) -> int:
         extra["estimator"] = args.estimator
     if args.conflict_mode is not None:
         extra["conflict_mode"] = args.conflict_mode
+    if args.prefilter is not None:
+        extra["prefilter"] = args.prefilter
     try:
         queries = load_rulebook(args.rulebook)
         result = run_rulebook_stream(
@@ -252,10 +261,24 @@ def _cmd_run_rulebook(args: argparse.Namespace) -> int:
     if result.cache_hit_rate is not None:
         print(f"  cache hit rate    : {result.cache_hit_rate:.2f} "
               f"({format_bytes(result.cache_bytes)} cached)")
+    _print_prefilter(result)
     if args.json:
         save_records([ExperimentRecord.from_run(result)], args.json)
         print(f"  record written to {args.json}")
     return 0
+
+
+def _print_prefilter(result) -> None:
+    """Skip-rate summary line for prefiltered runs (run + rulebook)."""
+    if result.prefilter is None:
+        return
+    line = (f"  prefilter         : {result.batches_skipped}/"
+            f"{result.num_batches} batches skipped "
+            f"({result.batch_skip_rate:.0%}), "
+            f"{result.roots_skipped} roots masked")
+    if result.rulebook_size:
+        line += f", {result.queries_skipped} query-batches skipped"
+    print(line)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -282,6 +305,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         extra["workers"] = args.workers
     if args.conflict_mode is not None:
         extra["conflict_mode"] = args.conflict_mode
+    if args.prefilter is not None:
+        extra["prefilter"] = args.prefilter
     try:
         result = run_stream(
             args.system, args.dataset, query_by_name(args.query),
@@ -301,6 +326,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.cache_hit_rate is not None:
         print(f"  cache hit rate    : {result.cache_hit_rate:.2f} "
               f"({format_bytes(result.cache_bytes)} cached)")
+    _print_prefilter(result)
     if result.num_devices > 1:
         last = result.load_balance[-1] if result.load_balance else {}
         print(f"  fleet             : {result.num_devices} devices "
@@ -351,6 +377,9 @@ def _cmd_figure(name: str) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.bench.harness import run_service
 
+    engine_kwargs = (
+        {"prefilter": args.prefilter} if args.prefilter is not None else None
+    )
     try:
         report = run_service(
             args.tenants,
@@ -359,6 +388,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             num_devices=args.devices, queue_capacity=args.queue_capacity,
             scheduler=args.scheduler, admission=args.admission,
             pipeline=args.pipeline, seed=args.seed, json_path=args.json,
+            engine_kwargs=engine_kwargs,
         )
     except ValueError as exc:
         print(f"repro serve: error: {exc}", file=sys.stderr)

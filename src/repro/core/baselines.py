@@ -27,7 +27,12 @@ import numpy as np
 
 from repro.core.engine import BatchResult, GCSMEngine, reorganize_step, update_step
 from repro.core.frequency import DEFAULT_ESTIMATOR
-from repro.core.matching import DEFAULT_EXECUTOR, match_batch
+from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
+from repro.core.prefilter import (
+    DEFAULT_PREFILTER,
+    InvariantIndex,
+    normalize_prefilter,
+)
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
@@ -78,6 +83,7 @@ class SimpleViewSystem:
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        prefilter: str = DEFAULT_PREFILTER,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
@@ -88,11 +94,47 @@ class SimpleViewSystem:
         # these systems never estimate; the configured choice is still
         # recorded so harness/results JSON stays uniform across systems
         self.estimator_name = estimator
+        self.prefilter_name = normalize_prefilter(prefilter)
+        self.prefilter_index = (
+            InvariantIndex(self.graph) if self.prefilter_name != "off" else None
+        )
         self.batches_processed = 0
         self.total_delta = 0
 
     def _make_view(self, counters: AccessCounters) -> GraphView:
         raise NotImplementedError
+
+    def _prefilter_batch(self, batch: UpdateBatch, breakdown: TimeBreakdown):
+        """Maintain the invariant index and certify skips (None when off)."""
+        if self.prefilter_index is None:
+            return None
+        counters = self.prefilter_index.apply_batch(batch)
+        decision = self.prefilter_index.evaluate(self.plans, batch)
+        counters.merge(decision.counters)
+        breakdown.prefilter_ns = simulated_time_ns(
+            counters, self.device, platform="cpu"
+        )
+        return decision
+
+    def _close_prefilter(self) -> None:
+        if self.prefilter_index is not None:
+            self.prefilter_index.close_batch()
+
+    def _skipped_result(self, breakdown, decision, conflicts) -> BatchResult:
+        self.batches_processed += 1
+        return BatchResult(
+            delta_count=0,
+            match_stats=MatchStats(roots_skipped=decision.roots_total),
+            breakdown=breakdown,
+            match_counters=AccessCounters(),
+            estimation=None,
+            cached_vertices=np.empty(0, dtype=np.int64),
+            cache_bytes=0,
+            cache_hits=0,
+            cache_misses=0,
+            conflicts=conflicts,
+            prefilter=decision.to_stats(breakdown.prefilter_ns),
+        )
 
     def process_batch(self, batch: UpdateBatch) -> BatchResult:
         require(len(batch) > 0, "empty batch")
@@ -103,14 +145,25 @@ class SimpleViewSystem:
             graph, batch, self.device, self.conflict_mode
         )
 
+        decision = self._prefilter_batch(batch, breakdown)
+        if decision is not None and decision.skip_batch:
+            breakdown.reorg_ns = reorganize_step(graph, self.device)
+            self._close_prefilter()
+            return self._skipped_result(
+                breakdown, decision, graph.last_canonical_report
+            )
+
         match_counters = AccessCounters()
         view = self._make_view(match_counters)
-        stats = match_batch(self.plans, batch, view, executor=self.executor)
+        stats = match_batch(
+            self.plans, batch, view, prefilter=decision, executor=self.executor
+        )
         breakdown.match_ns = simulated_time_ns(
             match_counters, self.device, platform=view.platform
         )
 
         breakdown.reorg_ns = reorganize_step(graph, self.device)
+        self._close_prefilter()
 
         self.batches_processed += 1
         self.total_delta += stats.signed_count
@@ -125,6 +178,9 @@ class SimpleViewSystem:
             cache_hits=0,
             cache_misses=stats.roots_processed,
             conflicts=graph.last_canonical_report,
+            prefilter=decision.to_stats(breakdown.prefilter_ns)
+            if decision is not None
+            else None,
         )
 
     def snapshot(self) -> StaticGraph:
@@ -180,6 +236,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        prefilter: str = DEFAULT_PREFILTER,
     ) -> None:
         super().__init__(
             initial_graph,
@@ -191,6 +248,7 @@ class NaiveDegreeCacheSystem(GCSMEngine):
             executor=executor,
             estimator=estimator,
             conflict_mode=conflict_mode,
+            prefilter=prefilter,
         )
 
 
@@ -222,6 +280,7 @@ class VsgmSystem:
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        prefilter: str = DEFAULT_PREFILTER,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
@@ -232,6 +291,10 @@ class VsgmSystem:
         self.executor = executor
         self.estimator_name = estimator
         self.conflict_mode = conflict_mode
+        self.prefilter_name = normalize_prefilter(prefilter)
+        self.prefilter_index = (
+            InvariantIndex(self.graph) if self.prefilter_name != "off" else None
+        )
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -263,6 +326,16 @@ class VsgmSystem:
             graph, batch, self.device, self.conflict_mode
         )
 
+        decision = SimpleViewSystem._prefilter_batch(self, batch, breakdown)
+        if decision is not None and decision.skip_batch:
+            # certified ΔM = 0 also saves VSGM's dominant cost: the k-hop
+            # gather + bulk copy never happen
+            breakdown.reorg_ns = reorganize_step(graph, self.device)
+            SimpleViewSystem._close_prefilter(self)
+            return SimpleViewSystem._skipped_result(
+                self, breakdown, decision, graph.last_canonical_report
+            )
+
         # gather + copy (this is VSGM's "DC" phase of Fig. 13)
         gather_counters = AccessCounters()
         resident = self._khop_vertices(batch, gather_counters)
@@ -272,6 +345,7 @@ class VsgmSystem:
         ) + len(resident) * 3 * BYTES_PER_NEIGHBOR
         if self.strict_capacity and copy_bytes > self.device.cache_buffer_bytes:
             graph.reorganize()  # leave the store consistent
+            SimpleViewSystem._close_prefilter(self)
             raise VsgmCapacityError(
                 f"k-hop working set ({copy_bytes} B) exceeds device buffer "
                 f"({self.device.cache_buffer_bytes} B); use a smaller batch"
@@ -283,10 +357,13 @@ class VsgmSystem:
 
         match_counters = AccessCounters()
         view = FullDeviceView(graph, self.device, match_counters, resident)
-        stats = match_batch(self.plans, batch, view, executor=self.executor)
+        stats = match_batch(
+            self.plans, batch, view, prefilter=decision, executor=self.executor
+        )
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
 
         breakdown.reorg_ns = reorganize_step(graph, self.device)
+        SimpleViewSystem._close_prefilter(self)
 
         self.batches_processed += 1
         self.total_delta += stats.signed_count
@@ -302,6 +379,9 @@ class VsgmSystem:
             cache_hits=stats.roots_processed,
             cache_misses=view.fallthrough_accesses,
             conflicts=graph.last_canonical_report,
+            prefilter=decision.to_stats(breakdown.prefilter_ns)
+            if decision is not None
+            else None,
         )
 
     def snapshot(self) -> StaticGraph:

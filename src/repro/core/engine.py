@@ -39,6 +39,13 @@ from repro.core.frequency import (
     make_estimator,
 )
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
+from repro.core.prefilter import (
+    DEFAULT_PREFILTER,
+    InvariantIndex,
+    PrefilterDecision,
+    PrefilterStats,
+    normalize_prefilter,
+)
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import CanonicalReport, DEFAULT_CONFLICT_MODE, UpdateBatch
@@ -48,7 +55,7 @@ from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
 from repro.gpu.transfer import DmaEngine
 from repro.query.pattern import QueryGraph
 from repro.query.plan import compile_delta_plans
-from repro.utils import as_generator, require, spawn_generator
+from repro.utils import VERTEX_DTYPE, as_generator, require, spawn_generator
 
 __all__ = [
     "GCSMEngine",
@@ -153,6 +160,9 @@ class BatchResult:
     #: legacy constructors); ``conflicts.anomalies`` counts updates a clean
     #: stream would never contain
     conflicts: CanonicalReport | None = None
+    #: certified-skip accounting when the aggregate-invariant pre-filter is
+    #: enabled (None with ``prefilter="off"``)
+    prefilter: PrefilterStats | None = None
 
     @property
     def cpu_access_bytes(self) -> int:
@@ -214,6 +224,7 @@ class GCSMEngine:
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        prefilter: str = DEFAULT_PREFILTER,
     ) -> None:
         self.device = device or default_device()
         self.cache_budget_bytes = (
@@ -235,6 +246,10 @@ class GCSMEngine:
         self.policy: CachePolicy = make_policy(policy)
         self.executor = executor
         self.conflict_mode = conflict_mode
+        self.prefilter_name = normalize_prefilter(prefilter)
+        self.prefilter_index = (
+            InvariantIndex(self.graph) if self.prefilter_name != "off" else None
+        )
         self.batches_processed = 0
         self.total_delta = 0
 
@@ -253,6 +268,25 @@ class GCSMEngine:
     def _stage_update(self, batch: UpdateBatch) -> tuple[UpdateBatch, float]:
         """CPU stage 1: canonicalize ΔE and fold it into the store."""
         return update_step(self.graph, batch, self.device, self.conflict_mode)
+
+    def _stage_prefilter(
+        self, batch: UpdateBatch
+    ) -> tuple[PrefilterDecision | None, float]:
+        """CPU stage 1b: maintain the aggregate-invariant index and certify
+        skips for this (effective) batch.
+
+        Runs on the host right after update, while the batch is open.  The
+        decision's per-plan root masks are fully materialized here, so the
+        (possibly concurrent) match stage never reads the live index — the
+        pipelined engine mutates it for batch *k+1* while batch *k* is
+        still matching.  Returns ``(None, 0.0)`` with ``prefilter="off"``.
+        """
+        if self.prefilter_index is None:
+            return None, 0.0
+        counters = self.prefilter_index.apply_batch(batch)
+        decision = self.prefilter_index.evaluate(self.plans, batch)
+        counters.merge(decision.counters)
+        return decision, simulated_time_ns(counters, self.device, platform="cpu")
 
     def _stage_estimate(
         self, batch: UpdateBatch
@@ -287,6 +321,7 @@ class GCSMEngine:
         batch: UpdateBatch,
         cache: DcsrCache,
         graph: DynamicGraph | None = None,
+        prefilter: PrefilterDecision | None = None,
     ) -> tuple[MatchStats, AccessCounters, CachedDeviceView, float]:
         """GPU stage 4: the incremental WCOJ kernel.
 
@@ -294,20 +329,28 @@ class GCSMEngine:
         zero-copy fallthrough — the pipelined engine passes a
         :class:`~repro.graphs.dynamic_graph.FrozenDynamicGraph` epoch so the
         kernel keeps reading batch *k*'s state while the host already
-        mutates the live store for batch *k+1*.
+        mutates the live store for batch *k+1*.  ``prefilter`` is the
+        host-precomputed certified root-skip decision for this batch (its
+        masks are immutable, so this stage stays safe to overlap).
         """
         match_counters = AccessCounters()
         view = CachedDeviceView(
             graph if graph is not None else self.graph,
             self.device, match_counters, cache,
         )
-        stats = match_batch(self.plans, batch, view, executor=self.executor)
+        stats = match_batch(
+            self.plans, batch, view, prefilter=prefilter, executor=self.executor
+        )
         ns = simulated_time_ns(match_counters, self.device, platform="gpu")
         return stats, match_counters, view, ns
 
     def _stage_reorganize(self) -> float:
         """CPU stage 5: re-sort updated lists, close the batch."""
-        return reorganize_step(self.graph, self.device)
+        ns = reorganize_step(self.graph, self.device)
+        if self.prefilter_index is not None:
+            # the batch is settled: OLD adjacency is gone, drop the overlay
+            self.prefilter_index.close_batch()
+        return ns
 
     # ------------------------------------------------------------------
     def process_batch(self, batch: UpdateBatch) -> BatchResult:
@@ -320,15 +363,38 @@ class GCSMEngine:
         batch, breakdown.update_ns = self._stage_update(batch)
         conflicts = self.graph.last_canonical_report
 
+        # -- step 1b: invariant maintenance + certified skip decision -----
+        decision, breakdown.prefilter_ns = self._stage_prefilter(batch)
+        if decision is not None and decision.skip_batch:
+            # certified ΔM = 0: skip estimation, packing, and the kernel;
+            # the store still reorganizes (the update really happened)
+            breakdown.reorg_ns = self._stage_reorganize()
+            self.batches_processed += 1
+            return BatchResult(
+                delta_count=0,
+                match_stats=MatchStats(roots_skipped=decision.roots_total),
+                breakdown=breakdown,
+                match_counters=AccessCounters(),
+                estimation=None,
+                cached_vertices=np.empty(0, dtype=VERTEX_DTYPE),
+                cache_bytes=0,
+                cache_hits=0,
+                cache_misses=0,
+                conflicts=conflicts,
+                prefilter=decision.to_stats(breakdown.prefilter_ns),
+            )
+
         # -- step 2: frequency estimation (CPU) ---------------------------
-        estimation, breakdown.estimate_ns = self._stage_estimate(batch)
+        # root-masked updates shrink the walk budget and the packed cache
+        estimate_input = decision.estimate_batch if decision is not None else batch
+        estimation, breakdown.estimate_ns = self._stage_estimate(estimate_input)
 
         # -- step 3: pack frequent lists + single DMA ----------------------
         selected, cache, breakdown.pack_ns = self._stage_pack(estimation)
 
         # -- step 4: incremental matching on the GPU -----------------------
         stats, match_counters, view, breakdown.match_ns = self._stage_match(
-            batch, cache
+            batch, cache, prefilter=decision
         )
 
         # -- step 5: reorganize CPU lists ----------------------------------
@@ -347,6 +413,9 @@ class GCSMEngine:
             cache_hits=view.hits,
             cache_misses=view.misses,
             conflicts=conflicts,
+            prefilter=decision.to_stats(breakdown.prefilter_ns)
+            if decision is not None
+            else None,
         )
 
     def process_stream(self, batches: list[UpdateBatch]) -> list[BatchResult]:

@@ -72,18 +72,25 @@ class MatchStats:
     embedding, deletions ``-1``; summed over all ΔM_i plans it equals
     ``count(G_{k+1}) − count(G_k)``.  ``embeddings_found`` counts emitted
     embeddings regardless of sign.
+
+    ``roots_skipped`` counts directed roots removed by a certified
+    aggregate-invariant pre-filter (``repro.core.prefilter``) before the
+    executor ran; always 0 with ``prefilter="off"``, and by construction
+    ``roots_processed(on) + roots_skipped(on) == roots_processed(off)``.
     """
 
     signed_count: int = 0
     embeddings_found: int = 0
     roots_processed: int = 0
     tree_nodes: int = 0
+    roots_skipped: int = 0
 
     def merge(self, other: "MatchStats") -> None:
         self.signed_count += other.signed_count
         self.embeddings_found += other.embeddings_found
         self.roots_processed += other.roots_processed
         self.tree_nodes += other.tree_nodes
+        self.roots_skipped += other.roots_skipped
 
 
 def _merge_runs(runs: tuple[np.ndarray, ...]) -> np.ndarray:
@@ -308,6 +315,7 @@ def match_batch(
     sink: EmbeddingSink | None = None,
     filters: dict[int, np.ndarray] | None = None,
     root_mask: Callable[[np.ndarray], np.ndarray] | None = None,
+    prefilter=None,
     executor: str = DEFAULT_EXECUTOR,
 ) -> MatchStats:
     """Run all ΔM_i plans against a signed batch (paper Fig. 2b-f).
@@ -322,13 +330,19 @@ def match_batch(
     uses it to route each root to the shard owning its first endpoint.
     Per-root work is independent (counters are sums over roots), so any
     disjoint cover of the roots reproduces the unsharded counters exactly.
+    ``prefilter`` optionally supplies a certified-skip masker
+    (``repro.core.prefilter``): an object whose ``mask(plan_index, plan,
+    roots)`` returns a boolean keep-mask; dropped roots are counted in
+    ``MatchStats.roots_skipped``.  It is applied *last* — after routing and
+    candidate filters — so the skip accounting composes with both, and
+    exactness is certified (only provably-ΔM=0 roots are dropped).
     ``executor`` picks the batched frontier executor (default) or the
     recursive reference; both produce bit-identical stats and counters.
     """
     labels = view.graph.labels
     total = MatchStats()
     pool: dict = {}
-    for plan in plans:
+    for plan_index, plan in enumerate(plans):
         roots, signs = delta_roots(plan, batch, labels)
         if root_mask is not None and roots.shape[0]:
             mask = root_mask(roots)
@@ -345,6 +359,10 @@ def match_batch(
                 pos = np.minimum(np.searchsorted(cand, roots[:, col]), cand.size - 1)
                 mask &= cand[pos] == roots[:, col]
             roots, signs = roots[mask], signs[mask]
+        if prefilter is not None and roots.shape[0]:
+            keep = prefilter.mask(plan_index, plan, roots)
+            total.roots_skipped += int(roots.shape[0] - np.count_nonzero(keep))
+            roots, signs = roots[keep], signs[keep]
         total.merge(
             _run_plan(plan, view, labels, sink, filters, roots, signs, executor, pool)
         )

@@ -59,6 +59,13 @@ from repro.core.frequency import (
 )
 from repro.core.frontier import FrontierKernel
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
+from repro.core.prefilter import (
+    DEFAULT_PREFILTER,
+    InvariantIndex,
+    PrefilterDecision,
+    PrefilterStats,
+    normalize_prefilter,
+)
 from repro.core.querytrie import ExecutionTrie, SharedTrieExecutor, TrieStats
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
@@ -69,7 +76,7 @@ from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
 from repro.query.pattern import QueryGraph
 from repro.query.plan import compile_delta_plans
 from repro.query.symmetry import canonical_form, find_isomorphism
-from repro.utils import as_generator, require, spawn_generator
+from repro.utils import VERTEX_DTYPE, as_generator, require, spawn_generator
 
 __all__ = ["MultiQueryEngine", "MultiBatchResult", "split_walk_budget"]
 
@@ -117,6 +124,10 @@ class MultiBatchResult:
     match_counters_by_query: dict[str, AccessCounters] | None = None
     aliases: dict[str, str] = field(default_factory=dict)
     trie_stats: TrieStats | None = None
+    #: certified-skip accounting when the aggregate-invariant pre-filter is
+    #: enabled (None with ``prefilter="off"``); ``queries_skipped`` counts
+    #: every rulebook entry certified ΔM = 0 this batch, aliases included
+    prefilter: PrefilterStats | None = None
 
     @property
     def total_delta(self) -> int:
@@ -135,6 +146,7 @@ def _copy_stats(stats: MatchStats) -> MatchStats:
         embeddings_found=stats.embeddings_found,
         roots_processed=stats.roots_processed,
         tree_nodes=stats.tree_nodes,
+        roots_skipped=stats.roots_skipped,
     )
 
 
@@ -161,6 +173,7 @@ class MultiQueryEngine:
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
         shared: bool = True,
         attribute_counters: bool = True,
+        prefilter: str = DEFAULT_PREFILTER,
     ) -> None:
         require(len(queries) >= 1, "need at least one query")
         names = [q.name for q in queries]
@@ -187,6 +200,10 @@ class MultiQueryEngine:
         self.conflict_mode = conflict_mode
         self.shared = shared
         self.attribute_counters = attribute_counters
+        self.prefilter_name = normalize_prefilter(prefilter)
+        self.prefilter_index = (
+            InvariantIndex(self.graph) if self.prefilter_name != "off" else None
+        )
         self.batches_processed = 0
 
         # -- symmetry dedupe: one representative per isomorphism class ------
@@ -215,27 +232,75 @@ class MultiQueryEngine:
         )
 
     # ------------------------------------------------------------------
-    def _pooled_estimate(self, batch: UpdateBatch) -> EstimationResult:
+    def _prefilter_batch(
+        self, batch: UpdateBatch
+    ) -> tuple[dict[str, PrefilterDecision] | None, frozenset[str], float]:
+        """Maintain the invariant index and certify per-query skips.
+
+        Returns ``(decisions, skip_queries, prefilter_ns)``.  ``decisions``
+        maps each *representative* to its batch decision (per-plan root
+        masks, reduced estimate batch); ``skip_queries`` names every
+        rulebook entry — aliases included — certified ΔM = 0 for this
+        batch.  Aliases inherit their representative's decision: skip
+        feasibility and root counts are isomorphism invariants, so the
+        inheritance is exact.  ``(None, frozenset(), 0.0)`` when off.
+        """
+        if self.prefilter_index is None:
+            return None, frozenset(), 0.0
+        counters = self.prefilter_index.apply_batch(batch)
+        decisions: dict[str, PrefilterDecision] = {}
+        for query in self.representatives:
+            decision = self.prefilter_index.evaluate(self.plans[query.name], batch)
+            counters.merge(decision.counters)
+            decisions[query.name] = decision
+        skip_queries = frozenset(
+            q.name
+            for q in self.queries
+            if decisions[self.canonical_of[q.name]].skip_batch
+        )
+        ns = simulated_time_ns(counters, self.device, platform="cpu")
+        return decisions, skip_queries, ns
+
+    # ------------------------------------------------------------------
+    def _pooled_estimate(
+        self,
+        batch: UpdateBatch,
+        decisions: dict[str, PrefilterDecision] | None = None,
+        skip_queries: frozenset[str] = frozenset(),
+    ) -> EstimationResult:
         """Sum per-query unbiased estimates into one workload estimate.
 
         Iterates *all* queries (aliases included) in lexsorted order in both
         execution modes, so the pooled frequencies — and therefore the cache
         contents every downstream counter depends on — are bit-identical
         between shared and independent runs.
+
+        Under the pre-filter, queries certified ΔM = 0 are excluded (their
+        walks would estimate provably dead work) and the walk budget is
+        split across the active queries only, each walking its
+        representative's *reduced* estimate batch.  This changes the
+        estimate and therefore the cache — never results.
         """
+        active = [q for q in self.queries if q.name not in skip_queries]
+        require(len(active) >= 1, "estimation needs at least one active query")
         max_degree = max(1, self.graph.max_degree())
-        largest = max(q.num_vertices for q in self.queries)
+        largest = max(q.num_vertices for q in active)
         total_walks = self.num_walks or default_num_walks(
             len(batch), max_degree, largest
         )
-        budget = split_walk_budget(total_walks, len(self.queries))
+        budget = split_walk_budget(total_walks, len(active))
         pooled: np.ndarray | None = None
         counters = AccessCounters()
         nodes = 0
         walks = 0
-        for query, query_walks in zip(self.queries, budget):
+        for query, query_walks in zip(active, budget):
+            est_batch = batch
+            if decisions is not None:
+                reduced = decisions[self.canonical_of[query.name]].estimate_batch
+                if reduced is not None:
+                    est_batch = reduced
             result = self.estimator.estimate(
-                self.plans[query.name], batch,
+                self.plans[query.name], est_batch,
                 num_walks=query_walks, max_degree=max_degree,
             )
             pooled = result.frequencies if pooled is None else pooled + result.frequencies
@@ -252,13 +317,19 @@ class MultiQueryEngine:
         view: CachedDeviceView,
         match_counters: AccessCounters,
         sinks: dict,
+        decisions: dict[str, PrefilterDecision] | None = None,
+        skip_queries: frozenset[str] = frozenset(),
     ) -> tuple[dict[str, MatchStats], dict[str, AccessCounters]]:
         """Baseline: every query runs its own full plan execution.
 
         Each query's charges land in a private counter (swapped into the
         shared view for the duration of its ``match_batch``) and are then
         merged into the engine total — additive, so the totals equal the
-        classic single-counter accumulation exactly.
+        classic single-counter accumulation exactly.  Skipped queries pay
+        nothing; active queries apply per-plan root masks straight from the
+        live invariant index (this mode is single-threaded, so no frozen
+        decision is needed — and aliases run their *own* plans, which the
+        representative's precomputed masks would not align with).
         """
         match_stats: dict[str, MatchStats] = {}
         per_query: dict[str, AccessCounters] = {}
@@ -266,10 +337,19 @@ class MultiQueryEngine:
         try:
             for query in self.queries:
                 pq = AccessCounters()
+                if query.name in skip_queries:
+                    assert decisions is not None
+                    rep = self.canonical_of[query.name]
+                    match_stats[query.name] = MatchStats(
+                        roots_skipped=decisions[rep].roots_total
+                    )
+                    per_query[query.name] = pq
+                    continue
                 view.counters = pq
                 match_stats[query.name] = match_batch(
                     self.plans[query.name], batch, view,
                     sink=sinks.get(query.name), executor=self.executor,
+                    prefilter=self.prefilter_index,
                 )
                 per_query[query.name] = pq
                 match_counters.merge(pq)
@@ -283,6 +363,8 @@ class MultiQueryEngine:
         view: CachedDeviceView,
         match_counters: AccessCounters,
         sinks: dict,
+        decisions: dict[str, PrefilterDecision] | None = None,
+        skip_queries: frozenset[str] = frozenset(),
     ) -> tuple[dict[str, MatchStats], dict[str, AccessCounters] | None]:
         """One trie walk over the representatives; aliases copy results.
 
@@ -326,13 +408,24 @@ class MultiQueryEngine:
             shared_counters=match_counters,
             per_query_counters=per_query,
             sinks=rep_sinks,
+            skip_queries=skip_queries,
+            prefilter=decisions,
         )
         rep_stats = shared_exec.run(batch)
 
         match_stats: dict[str, MatchStats] = {}
         for query in self.queries:
             rep = self.canonical_of[query.name]
-            if rep == query.name:
+            if query.name in skip_queries:
+                # certified ΔM = 0 (aliases inherit — an isomorphism
+                # invariant), pruned from the trie before expansion
+                assert decisions is not None
+                match_stats[query.name] = MatchStats(
+                    roots_skipped=decisions[rep].roots_total
+                )
+                if per_query is not None:
+                    per_query[query.name] = AccessCounters()
+            elif rep == query.name:
                 match_stats[query.name] = rep_stats[query.name]
             else:
                 # ΔM and embedding counts are isomorphism invariants;
@@ -366,8 +459,17 @@ class MultiQueryEngine:
         upd.record_compute(raw_len * int(2 * (1 + math.log2(avg_deg))))
         breakdown.update_ns = simulated_time_ns(upd, self.device, platform="cpu")
 
+        # -- shared step 1b: invariant maintenance + per-query skips ---------
+        decisions, skip_queries, breakdown.prefilter_ns = self._prefilter_batch(batch)
+        if decisions is not None and len(skip_queries) == len(self.queries):
+            # every rulebook entry certified ΔM = 0: skip estimation,
+            # packing, DMA, and the whole trie walk; reorganize only
+            return self._finish_skipped(
+                batch, breakdown, decisions, skip_queries
+            )
+
         # -- shared step 2: pooled estimation --------------------------------
-        estimation = self._pooled_estimate(batch)
+        estimation = self._pooled_estimate(batch, decisions, skip_queries)
         breakdown.estimate_ns = simulated_time_ns(
             estimation.counters, self.device, platform="cpu_estimator"
         )
@@ -390,21 +492,17 @@ class MultiQueryEngine:
         view = CachedDeviceView(graph, self.device, match_counters, cache)
         if self.shared:
             match_stats, per_query = self._match_shared(
-                batch, view, match_counters, sinks
+                batch, view, match_counters, sinks, decisions, skip_queries
             )
         else:
             match_stats, per_query = self._match_independent(
-                batch, view, match_counters, sinks
+                batch, view, match_counters, sinks, decisions, skip_queries
             )
         delta_counts = {name: st.signed_count for name, st in match_stats.items()}
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="gpu")
 
         # -- shared step 5: reorganize ----------------------------------------
-        reorg = graph.reorganize()
-        rc = AccessCounters()
-        rc.record_compute(reorg.merged_elements + reorg.lists_touched)
-        rc.record_access(Channel.CPU_DRAM, 0, reorg.merged_elements * BYTES_PER_NEIGHBOR)
-        breakdown.reorg_ns = simulated_time_ns(rc, self.device, platform="cpu")
+        breakdown.reorg_ns = self._reorganize()
 
         self.batches_processed += 1
         return MultiBatchResult(
@@ -423,6 +521,77 @@ class MultiQueryEngine:
                 name: rep for name, rep in self.canonical_of.items() if name != rep
             },
             trie_stats=self.trie.stats if self.shared else None,
+            prefilter=self._prefilter_stats(breakdown, decisions, match_stats, False),
+        )
+
+    # ------------------------------------------------------------------
+    def _reorganize(self) -> float:
+        reorg = self.graph.reorganize()
+        rc = AccessCounters()
+        rc.record_compute(reorg.merged_elements + reorg.lists_touched)
+        rc.record_access(Channel.CPU_DRAM, 0, reorg.merged_elements * BYTES_PER_NEIGHBOR)
+        if self.prefilter_index is not None:
+            # the batch is settled: OLD adjacency is gone, drop the overlay
+            self.prefilter_index.close_batch()
+        return simulated_time_ns(rc, self.device, platform="cpu")
+
+    def _prefilter_stats(
+        self,
+        breakdown: TimeBreakdown,
+        decisions: dict[str, PrefilterDecision] | None,
+        match_stats: dict[str, MatchStats],
+        batch_skipped: bool,
+    ) -> PrefilterStats | None:
+        if decisions is None:
+            return None
+        return PrefilterStats(
+            enabled=True,
+            batches_skipped=int(batch_skipped),
+            roots_skipped=sum(st.roots_skipped for st in match_stats.values()),
+            queries_skipped=sum(
+                decisions[self.canonical_of[q.name]].skip_batch for q in self.queries
+            ),
+            maintenance_ns=breakdown.prefilter_ns,
+        )
+
+    def _finish_skipped(
+        self,
+        batch: UpdateBatch,
+        breakdown: TimeBreakdown,
+        decisions: dict[str, PrefilterDecision],
+        skip_queries: frozenset[str],
+    ) -> MultiBatchResult:
+        """Whole-rulebook certified skip: every query's ΔM is provably zero."""
+        breakdown.reorg_ns = self._reorganize()
+        match_stats = {
+            q.name: MatchStats(
+                roots_skipped=decisions[self.canonical_of[q.name]].roots_total
+            )
+            for q in self.queries
+        }
+        per_query = (
+            {q.name: AccessCounters() for q in self.queries}
+            if self.attribute_counters or not self.shared
+            else None
+        )
+        self.batches_processed += 1
+        return MultiBatchResult(
+            delta_counts={q.name: 0 for q in self.queries},
+            match_stats=match_stats,
+            breakdown=breakdown,
+            match_counters=AccessCounters(),
+            estimation=None,
+            cached_vertices=np.empty(0, dtype=VERTEX_DTYPE),
+            cache_bytes=0,
+            cache_hits=0,
+            cache_misses=0,
+            shared=self.shared,
+            match_counters_by_query=per_query,
+            aliases={
+                name: rep for name, rep in self.canonical_of.items() if name != rep
+            },
+            trie_stats=self.trie.stats if self.shared else None,
+            prefilter=self._prefilter_stats(breakdown, decisions, match_stats, True),
         )
 
     def snapshot(self) -> StaticGraph:

@@ -37,11 +37,23 @@ the adversarial-stream fuzzer):
   have recorded.  The *shared* counters — which price the kernel's
   simulated time — receive each node charge once; their gap to the summed
   attributed counters is the modeled saving.
+
+With the aggregate-invariant pre-filter (:mod:`repro.core.prefilter`) the
+executor additionally prunes at rulebook granularity: queries in
+``skip_queries`` (certified ΔM = 0 for this batch) are removed from every
+node's member set, subtrees whose members are *all* skipped are never
+descended (no ``delta_roots``, no expansion, no charge), and each root
+group's frontier is masked at **group granularity** — a root row is dropped
+only when it fails the dominance test for *every* surviving member, so
+dropping it cannot remove an embedding of any member.  ΔM and sink order
+stay bit-identical; ``roots_processed``/``roots_skipped`` are attributed
+per group (every member of a group records the same skip count), which is
+coarser than the per-plan masks independent execution applies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -231,6 +243,14 @@ class SharedTrieExecutor:
     Sink tuples are buffered per ``(query, delta_index)`` and flushed in
     plan order after the walk, so each query's sink observes exactly the
     emission order of its own independent ``match_batch``.
+
+    ``skip_queries`` names queries certified ΔM = 0 for this batch (the
+    pre-filter's rulebook-level skip): they are excluded from every member
+    set, and nodes left with no members are pruned without expansion.
+    ``prefilter`` optionally maps query names to their
+    :class:`~repro.core.prefilter.PrefilterDecision`; when present, each
+    root group's frontier is masked by the OR of its surviving members'
+    per-plan masks before descent (certified, so exactness is unaffected).
     """
 
     def __init__(
@@ -242,6 +262,8 @@ class SharedTrieExecutor:
         shared_counters: AccessCounters,
         per_query_counters: dict[str, AccessCounters] | None = None,
         sinks: dict[str, object] | None = None,
+        skip_queries: frozenset[str] = frozenset(),
+        prefilter: dict[str, object] | None = None,
     ) -> None:
         self.trie = trie
         self.kernel = kernel
@@ -249,6 +271,8 @@ class SharedTrieExecutor:
         self.shared_counters = shared_counters
         self.per_query_counters = per_query_counters
         self.sinks = sinks or {}
+        self.skip_queries = skip_queries
+        self.prefilter = prefilter
         self.stats: dict[str, MatchStats] = {}
         self._buffers: dict[tuple[str, int], list] = {}
         query_names: list[str] = []
@@ -260,21 +284,50 @@ class SharedTrieExecutor:
         self.masks = QuerySetMasks(query_names)
 
     # ------------------------------------------------------------------
+    def _live(self, refs: list[PlanRef]) -> list[PlanRef]:
+        if not self.skip_queries:
+            return refs
+        return [r for r in refs if r.query_name not in self.skip_queries]
+
+    def _member_mask(self, ref: PlanRef, roots: np.ndarray) -> np.ndarray:
+        """This member's certified root mask (all-True without a decision)."""
+        decision = self.prefilter.get(ref.query_name)
+        if decision is None:
+            return np.ones(roots.shape[0], dtype=bool)
+        return decision.mask(ref.plan.delta_index or 0, ref.plan, roots)
+
     def run(self, batch) -> dict[str, MatchStats]:
         for node in self.trie.roots.values():
-            ref0 = node.members[0]
-            roots, signs = delta_roots(ref0.plan, batch, self.labels)
+            live = self._live(node.members)
+            if not live:
+                # every member is certified ΔM = 0 for this batch — the
+                # whole subtree is skipped, delta_roots included
+                continue
+            roots, signs = delta_roots(live[0].plan, batch, self.labels)
             n = int(roots.shape[0])
-            for ref in node.members:
+            dropped = 0
+            if self.prefilter is not None and n:
+                # group-level certified mask: keep a root iff at least one
+                # surviving member's dominance test passes (a row failing
+                # for every member provably yields no embedding for any)
+                keep = np.zeros(n, dtype=bool)
+                for ref in live:
+                    keep |= self._member_mask(ref, roots)
+                dropped = n - int(np.count_nonzero(keep))
+                if dropped:
+                    roots, signs = roots[keep], signs[keep]
+                    n -= dropped
+            for ref in live:
                 st = self.stats[ref.query_name]
                 st.roots_processed += n
+                st.roots_skipped += dropped
                 st.tree_nodes += n
-            for ref in node.terminal:  # depth-2 plans: the root edge is all
+            for ref in self._live(node.terminal):  # depth-2: root edge is all
                 self._emit_root(ref, roots, signs)
             if n and node.children:
                 rows = roots.astype(np.int64, copy=False)
                 sign = signs.astype(np.int64, copy=False)
-                bits = self.masks.bits_of([r.query_name for r in node.members])
+                bits = self.masks.bits_of([r.query_name for r in live])
                 mask_ids = np.full(n, self.masks.intern(bits), dtype=np.int64)
                 self._descend(node, rows, sign, mask_ids)
         self._flush_sinks()
@@ -297,7 +350,10 @@ class SharedTrieExecutor:
     ) -> None:
         view = self.kernel.view
         for child in node.children.values():
-            branch_bits = self.masks.bits_of([r.query_name for r in child.members])
+            live = self._live(child.members)
+            if not live:
+                continue  # all members certified ΔM = 0: prune the subtree
+            branch_bits = self.masks.bits_of([r.query_name for r in live])
             active = self.masks.row_active(mask_ids, branch_bits)
             node_counters = AccessCounters()
             saved = view.counters
@@ -308,11 +364,11 @@ class SharedTrieExecutor:
                 )
             finally:
                 view.counters = saved
-            self._charge(child.members, node_counters)
+            self._charge(live, node_counters)
             total = int(cand_cnt.sum())
-            for ref in child.members:
+            for ref in live:
                 self.stats[ref.query_name].tree_nodes += total
-            for ref in child.terminal:
+            for ref in self._live(child.terminal):
                 self._emit(ref, rows, sign, cand_flat, cand_cnt, total)
             if total and child.children:
                 next_rows = np.concatenate(

@@ -29,7 +29,12 @@ import numpy as np
 
 from repro.core.engine import BatchResult
 from repro.core.frequency import DEFAULT_ESTIMATOR
-from repro.core.matching import DEFAULT_EXECUTOR, match_batch
+from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
+from repro.core.prefilter import (
+    DEFAULT_PREFILTER,
+    InvariantIndex,
+    normalize_prefilter,
+)
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
@@ -37,7 +42,7 @@ from repro.gpu.clock import TimeBreakdown, simulated_time_ns
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import BYTES_PER_NEIGHBOR, DeviceConfig, default_device
 from repro.query.pattern import WILDCARD_LABEL, QueryGraph
-from repro.query.plan import MatchPlan, compile_delta_plans, greedy_matching_order, _build_levels, EdgeVersion
+from repro.query.plan import MatchPlan, _build_levels, EdgeVersion
 from repro.utils import require
 
 __all__ = ["RapidFlowSystem", "IndexMemoryError", "candidate_index_bytes"]
@@ -85,6 +90,7 @@ class RapidFlowSystem:
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        prefilter: str = DEFAULT_PREFILTER,
     ) -> None:
         self.device = device or default_device()
         self.graph = DynamicGraph(initial_graph)
@@ -93,6 +99,10 @@ class RapidFlowSystem:
         self.conflict_mode = conflict_mode
         # RapidFlow never estimates; recorded for uniform results JSON
         self.estimator_name = estimator
+        self.prefilter_name = normalize_prefilter(prefilter)
+        self.prefilter_index = (
+            InvariantIndex(self.graph) if self.prefilter_name != "off" else None
+        )
         self.memory_budget_bytes = memory_budget_bytes
         self.candidates = self._build_candidates()
         self.index_bytes = candidate_index_bytes(self.graph, query, self.candidates)
@@ -222,12 +232,46 @@ class RapidFlowSystem:
         self._maintain_index(batch, upd)
         breakdown.update_ns = simulated_time_ns(upd, self.device, platform="cpu")
 
+        decision = None
+        if self.prefilter_index is not None:
+            pc = self.prefilter_index.apply_batch(batch)
+            decision = self.prefilter_index.evaluate(self.plans, batch)
+            pc.merge(decision.counters)
+            breakdown.prefilter_ns = simulated_time_ns(pc, self.device, platform="cpu")
+            if decision.skip_batch:
+                reorg = graph.reorganize()
+                rc = AccessCounters()
+                rc.record_compute(reorg.merged_elements + reorg.lists_touched)
+                rc.record_access(
+                    Channel.CPU_DRAM, 0, reorg.merged_elements * BYTES_PER_NEIGHBOR
+                )
+                breakdown.reorg_ns = simulated_time_ns(rc, self.device, platform="cpu")
+                self.prefilter_index.close_batch()
+                self.batches_processed += 1
+                return BatchResult(
+                    delta_count=0,
+                    match_stats=MatchStats(roots_skipped=decision.roots_total),
+                    breakdown=breakdown,
+                    match_counters=AccessCounters(),
+                    estimation=None,
+                    cached_vertices=np.empty(0, dtype=np.int64),
+                    cache_bytes=self.index_bytes,
+                    cache_hits=0,
+                    cache_misses=0,
+                    conflicts=graph.last_canonical_report,
+                    prefilter=decision.to_stats(breakdown.prefilter_ns),
+                )
+
         from repro.gpu.views import HostCPUView
 
         match_counters = AccessCounters()
         view = HostCPUView(graph, self.device, match_counters)
+        # RapidFlow's own candidate filters shrink the roots before the
+        # prefilter, so the decision's precomputed masks would misalign —
+        # hand the live index instead (its masker recomputes per call)
         stats = match_batch(
-            self.plans, batch, view, filters=self.candidates, executor=self.executor
+            self.plans, batch, view, filters=self.candidates,
+            prefilter=self.prefilter_index, executor=self.executor,
         )
         breakdown.match_ns = simulated_time_ns(match_counters, self.device, platform="cpu")
 
@@ -236,9 +280,17 @@ class RapidFlowSystem:
         rc.record_compute(reorg.merged_elements + reorg.lists_touched)
         rc.record_access(Channel.CPU_DRAM, 0, reorg.merged_elements * BYTES_PER_NEIGHBOR)
         breakdown.reorg_ns = simulated_time_ns(rc, self.device, platform="cpu")
+        if self.prefilter_index is not None:
+            self.prefilter_index.close_batch()
 
         self.batches_processed += 1
         self.total_delta += stats.signed_count
+        prefilter_stats = None
+        if decision is not None:
+            # report the drops the kernel actually saw (the candidate
+            # filters already removed some certified-skippable roots)
+            prefilter_stats = decision.to_stats(breakdown.prefilter_ns)
+            prefilter_stats.roots_skipped = stats.roots_skipped
         return BatchResult(
             delta_count=stats.signed_count,
             match_stats=stats,
@@ -250,6 +302,7 @@ class RapidFlowSystem:
             cache_hits=0,
             cache_misses=0,
             conflicts=graph.last_canonical_report,
+            prefilter=prefilter_stats,
         )
 
     def snapshot(self) -> StaticGraph:

@@ -56,6 +56,12 @@ class ExperimentRecord:
     # -- multi-query (rulebook) extras (None for single-query records) -----
     shared: bool | None = None
     rulebook_size: int | None = None
+    # -- aggregate-invariant pre-filter extras (defaults keep old JSON) ----
+    prefilter: str | None = None
+    prefilter_ns: float = 0.0
+    batches_skipped: int = 0
+    roots_skipped: int = 0
+    queries_skipped: int = 0
 
     @classmethod
     def from_run(cls, run) -> "ExperimentRecord":
@@ -89,6 +95,11 @@ class ExperimentRecord:
             load_balance=list(getattr(run, "load_balance", []) or []),
             shared=getattr(run, "shared", None),
             rulebook_size=getattr(run, "rulebook_size", None),
+            prefilter=getattr(run, "prefilter", None),
+            prefilter_ns=getattr(bd, "prefilter_ns", 0.0),
+            batches_skipped=getattr(run, "batches_skipped", 0),
+            roots_skipped=getattr(run, "roots_skipped", 0),
+            queries_skipped=getattr(run, "queries_skipped", 0),
         )
 
     def to_dict(self) -> dict:
@@ -120,6 +131,11 @@ class ExperimentRecord:
             "load_balance": self.load_balance,
             "shared": self.shared,
             "rulebook_size": self.rulebook_size,
+            "prefilter": self.prefilter,
+            "prefilter_ns": self.prefilter_ns,
+            "batches_skipped": self.batches_skipped,
+            "roots_skipped": self.roots_skipped,
+            "queries_skipped": self.queries_skipped,
         }
 
     @classmethod

@@ -54,15 +54,23 @@ def _parse_system_spec(spec: str) -> tuple[str, dict]:
 
     The ``@N`` suffix routes GCSM to the sharded multi-GPU engine so the
     fuzzer exercises the shard-union matching path alongside single-device
-    systems.
+    systems.  A ``+prefilter`` suffix (before any ``@N``) enables the
+    aggregate-invariant pre-filter on the system, e.g. ``"GCSM+prefilter"``
+    or ``"GCSM+prefilter@2"`` — the fuzzer's exactness check then covers
+    the certified-skip path against every unfiltered system.
     """
+    kwargs: dict = {}
+    if "+prefilter" in spec:
+        spec = spec.replace("+prefilter", "", 1)
+        kwargs["prefilter"] = "invariant"
     if "@" in spec:
         name, _, devices = spec.partition("@")
         require(name == "GCSM", f"@N device suffix only applies to GCSM, got {spec!r}")
         require(devices.isdigit() and int(devices) >= 1,
                 f"bad device count in system spec {spec!r}")
-        return name, {"devices": int(devices)}
-    return spec, {}
+        kwargs["devices"] = int(devices)
+        return name, kwargs
+    return spec, kwargs
 
 
 def _conflict_key(report: CanonicalReport | None) -> tuple | None:
@@ -253,11 +261,22 @@ def verify_rulebook(
       trie and every independent leg;
     * every alias's results mirror its representative's (the documented
       dedupe contract — ΔM is an isomorphism invariant).
+
+    With the aggregate-invariant pre-filter enabled (``engine_kwargs=
+    {"prefilter": "on"}``), the shared trie masks roots at *group*
+    granularity while independent legs mask per plan, so stats/counter
+    equality is relaxed to: identical ``signed_count``/``embeddings_found``
+    plus the audit identity ``roots_processed + roots_skipped`` equal
+    across legs with ``shared.roots_processed >= independent.
+    roots_processed`` (the group OR keeps at least every root any member's
+    own mask keeps).
     """
     from repro.core.multiquery import MultiQueryEngine
+    from repro.core.prefilter import normalize_prefilter
 
     require(len(batches) >= 1, "need at least one batch")
     kwargs = dict(engine_kwargs or {})
+    prefilter_on = normalize_prefilter(kwargs.get("prefilter")) != "off"
     if conflict_mode is not None:
         kwargs["conflict_mode"] = conflict_mode
     shared_engine = MultiQueryEngine(
@@ -288,11 +307,31 @@ def verify_rulebook(
             for name, indep_stats in indep_res.match_stats.items():
                 if name in report.aliases:
                     continue  # aliases mirror their representative
-                if vars(shared_res.match_stats[name]) != vars(indep_stats):
+                shared_stats = shared_res.match_stats[name]
+                if prefilter_on:
+                    ok = (
+                        shared_stats.signed_count == indep_stats.signed_count
+                        and shared_stats.embeddings_found
+                        == indep_stats.embeddings_found
+                        and shared_stats.roots_processed
+                        + shared_stats.roots_skipped
+                        == indep_stats.roots_processed
+                        + indep_stats.roots_skipped
+                        and shared_stats.roots_processed
+                        >= indep_stats.roots_processed
+                    )
+                    if not ok:
+                        raise ConsistencyError(
+                            f"batch {k}: prefiltered stats diverge for {name} "
+                            f"vs independent[{ex}]: "
+                            f"{vars(shared_stats)} != {vars(indep_stats)}"
+                        )
+                    continue  # counters legitimately differ under masking
+                if vars(shared_stats) != vars(indep_stats):
                     raise ConsistencyError(
                         f"batch {k}: stats diverge for {name} vs "
                         f"independent[{ex}]: "
-                        f"{vars(shared_res.match_stats[name])} != {vars(indep_stats)}"
+                        f"{vars(shared_stats)} != {vars(indep_stats)}"
                     )
                 assert shared_res.match_counters_by_query is not None
                 assert indep_res.match_counters_by_query is not None
@@ -483,11 +522,12 @@ def generate_adversarial_stream(
 
 #: Every system the fuzzer cross-checks by default — both GCSM engines
 #: (single-GPU and 2-device sharded), the pipelined engine (same results,
-#: overlapped schedule), all four GPU baselines, the CPU loop, and
-#: RapidFlow.
+#: overlapped schedule), all four GPU baselines, the CPU loop, RapidFlow,
+#: and the prefiltered GCSM/pipelined variants (certified skips must be
+#: invisible in ΔM).
 DEFAULT_FUZZ_SYSTEMS = (
     "GCSM", "GCSM@2", "Pipelined", "ZC", "UM", "Naive", "VSGM", "CPU",
-    "RapidFlow",
+    "RapidFlow", "GCSM+prefilter", "Pipelined+prefilter",
 )
 
 #: Queries the fuzz cases rotate through (kept small: the oracle recounts

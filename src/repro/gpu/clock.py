@@ -91,6 +91,9 @@ class TimeBreakdown:
     * ``reorg_ns``    — step 5, CPU graph reorganization
     * ``comm_ns``     — multi-GPU only: cross-device collectives (ΔM
       all-reduce); always 0 on a single device
+    * ``prefilter_ns`` — aggregate-invariant index maintenance + the
+      certified-skip decision (``repro.core.prefilter``); a host-side step
+      between update and estimate, always 0 with ``prefilter="off"``
 
     The three pipeline fields are 0 for serially executed batches and are
     filled in by :class:`PipelineClock` when the engine models cross-batch
@@ -114,6 +117,7 @@ class TimeBreakdown:
     match_ns: float = 0.0
     reorg_ns: float = 0.0
     comm_ns: float = 0.0
+    prefilter_ns: float = 0.0
     critical_path_ns: float = 0.0
     fill_ns: float = 0.0
     drain_ns: float = 0.0
@@ -128,6 +132,7 @@ class TimeBreakdown:
             + self.match_ns
             + self.reorg_ns
             + self.comm_ns
+            + self.prefilter_ns
         )
 
     @property
@@ -162,6 +167,7 @@ class TimeBreakdown:
             self.match_ns + other.match_ns,
             self.reorg_ns + other.reorg_ns,
             self.comm_ns + other.comm_ns,
+            self.prefilter_ns + other.prefilter_ns,
             self.critical_path_ns + other.critical_path_ns,
             self.fill_ns + other.fill_ns,
             self.drain_ns + other.drain_ns,
@@ -175,6 +181,7 @@ class TimeBreakdown:
             self.match_ns * factor,
             self.reorg_ns * factor,
             self.comm_ns * factor,
+            self.prefilter_ns * factor,
             self.critical_path_ns * factor,
             self.fill_ns * factor,
             self.drain_ns * factor,
@@ -205,6 +212,7 @@ class StageSpec:
 #: still matching the same batch — see ``docs/service.md``.
 PIPELINE_STAGES = (
     StageSpec("update", "cpu"),
+    StageSpec("prefilter", "cpu"),
     StageSpec("estimate", "cpu"),
     StageSpec("pack", "cpu"),
     StageSpec("match", "gpu"),
@@ -242,8 +250,8 @@ class PipelineClock:
     CPU stages (update → estimate → pack) run while batch *k* is still
     matching on the device.  Dependencies:
 
-    * CPU lane, FIFO: ``update(k) → estimate(k) → pack(k) → reorganize(k)``
-      then ``update(k+1)`` — the host store is serial.
+    * CPU lane, FIFO: ``update(k) → prefilter(k) → estimate(k) → pack(k) →
+      reorganize(k)`` then ``update(k+1)`` — the host store is serial.
     * ``match(k)`` starts after ``pack(k)`` (its cache must be shipped) and
       after ``match(k-1)`` (one in-order kernel lane per device fleet).
     * ``comm(k)`` (ΔM all-reduce) follows ``match(k)`` on the PEER lane.
@@ -277,6 +285,7 @@ class PipelineClock:
         t = self.cpu_ns
         for name, dur in (
             ("update", breakdown.update_ns),
+            ("prefilter", breakdown.prefilter_ns),
             ("estimate", breakdown.estimate_ns),
             ("pack", breakdown.pack_ns),
         ):

@@ -49,6 +49,11 @@ from repro.core.frequency import (
     make_estimator,
 )
 from repro.core.matching import DEFAULT_EXECUTOR, MatchStats, match_batch
+from repro.core.prefilter import (
+    DEFAULT_PREFILTER,
+    InvariantIndex,
+    normalize_prefilter,
+)
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import DEFAULT_CONFLICT_MODE, UpdateBatch
@@ -228,6 +233,7 @@ class MultiGpuEngine:
         executor: str = DEFAULT_EXECUTOR,
         estimator: str = DEFAULT_ESTIMATOR,
         conflict_mode: str = DEFAULT_CONFLICT_MODE,
+        prefilter: str = DEFAULT_PREFILTER,
         pipeline: bool = False,
     ) -> None:
         if isinstance(devices, ClusterConfig):
@@ -258,6 +264,13 @@ class MultiGpuEngine:
         self.policy = make_policy(policy)
         self.executor = executor
         self.conflict_mode = conflict_mode
+        # one shared host-side index for the whole fleet: maintenance is a
+        # host phase (like update/estimate), and the per-shard kernels only
+        # *read* it — so certified skips stay PEER-free
+        self.prefilter_name = normalize_prefilter(prefilter)
+        self.prefilter_index = (
+            InvariantIndex(self.graph) if self.prefilter_name != "off" else None
+        )
         self.partitioner = make_partitioner(partitioner)
         self.workers = workers
         self.shards = [
@@ -286,16 +299,47 @@ class MultiGpuEngine:
             graph, batch, self.device, self.conflict_mode
         )
 
+        # -- step 1b: invariant maintenance + certified skips (host) -------
+        decision = None
+        if self.prefilter_index is not None:
+            pc = self.prefilter_index.apply_batch(batch)
+            decision = self.prefilter_index.evaluate(self.plans, batch)
+            pc.merge(decision.counters)
+            breakdown.prefilter_ns = simulated_time_ns(pc, self.device, platform="cpu")
+            if decision.skip_batch:
+                # certified ΔM = 0 fleet-wide: no estimation, no per-shard
+                # pack, no kernels, no all-reduce — only the host settles
+                breakdown.reorg_ns = reorganize_step(graph, self.device)
+                self.prefilter_index.close_batch()
+                if self.clock is not None:
+                    self.clock.annotate(breakdown)
+                self.batches_processed += 1
+                return MultiBatchResult(
+                    delta_count=0,
+                    match_stats=MatchStats(roots_skipped=decision.roots_total),
+                    breakdown=breakdown,
+                    match_counters=AccessCounters(),
+                    estimation=None,
+                    cached_vertices=np.empty(0, dtype=np.int64),
+                    cache_bytes=0,
+                    cache_hits=0,
+                    cache_misses=0,
+                    conflicts=graph.last_canonical_report,
+                    prefilter=decision.to_stats(breakdown.prefilter_ns),
+                )
+
         # -- step 2: frequency estimation (host, shared) -------------------
+        # root-masked updates shrink the shared walk budget for the fleet
+        estimate_input = decision.estimate_batch if decision is not None else batch
         estimation: EstimationResult | None = None
         if self.policy.requires_estimation:
             if self.adaptive_walks:
                 estimation = self.estimator.estimate_adaptive(
-                    self.plans, batch, initial_walks=self.num_walks
+                    self.plans, estimate_input, initial_walks=self.num_walks
                 )
             else:
                 estimation = self.estimator.estimate(
-                    self.plans, batch, num_walks=self.num_walks
+                    self.plans, estimate_input, num_walks=self.num_walks
                 )
             breakdown.estimate_ns = simulated_time_ns(
                 estimation.counters, self.device, platform="cpu_estimator"
@@ -334,8 +378,11 @@ class MultiGpuEngine:
             if owner is not None:
                 sid = shard.shard_id
                 mask = lambda roots: owner[roots[:, 0]] == sid  # noqa: E731
+            # the live index masker recomputes per shard-routed subset, so
+            # skipped-root accounting partitions exactly across the fleet
             stats = match_batch(
-                self.plans, batch, view, root_mask=mask, executor=self.executor
+                self.plans, batch, view, root_mask=mask,
+                prefilter=self.prefilter_index, executor=self.executor,
             )
             match_ns = simulated_time_ns(counters, shard.device, platform="gpu")
             return _ShardMatchOutcome(stats, counters, match_ns, view)
@@ -350,6 +397,8 @@ class MultiGpuEngine:
 
         # -- step 5: reorganize CPU lists (host, shared) -------------------
         breakdown.reorg_ns = reorganize_step(graph, self.device)
+        if self.prefilter_index is not None:
+            self.prefilter_index.close_batch()
 
         # -- aggregate across the fleet ------------------------------------
         total_stats = MatchStats()
@@ -396,6 +445,9 @@ class MultiGpuEngine:
             cache_hits=sum(o.view.total_hits for o in outcomes),
             cache_misses=sum(o.view.total_misses for o in outcomes),
             conflicts=graph.last_canonical_report,
+            prefilter=decision.to_stats(breakdown.prefilter_ns)
+            if decision is not None
+            else None,
             shard_reports=shard_reports,
             load_balance=balance,
             comm=comm,

@@ -40,11 +40,15 @@ spec in :mod:`repro.core.validation`.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.engine import BatchResult, GCSMEngine
+from repro.core.matching import MatchStats
 from repro.gpu.clock import PipelineClock, ScheduleReport, TimeBreakdown
+from repro.gpu.counters import AccessCounters
 from repro.parallel import submit
 from repro.query.pattern import QueryGraph  # noqa: F401  (doc cross-ref)
-from repro.utils import require
+from repro.utils import VERTEX_DTYPE, require
 
 __all__ = ["PipelinedEngine"]
 
@@ -83,21 +87,26 @@ class PipelinedEngine(GCSMEngine):
         breakdown = TimeBreakdown()
         batch, breakdown.update_ns = self._stage_update(batch)
         conflicts = self.graph.last_canonical_report
-        estimation, breakdown.estimate_ns = self._stage_estimate(batch)
+        decision, breakdown.prefilter_ns = self._stage_prefilter(batch)
+        if decision is not None and decision.skip_batch:
+            breakdown.reorg_ns = self._stage_reorganize()
+            return self._finish_skipped(breakdown, decision, conflicts)
+        estimate_input = decision.estimate_batch if decision is not None else batch
+        estimation, breakdown.estimate_ns = self._stage_estimate(estimate_input)
         selected, cache, breakdown.pack_ns = self._stage_pack(estimation)
         if self.threaded:
             with self.graph.freeze() as frozen:
-                task = submit(self._stage_match, batch, cache, frozen)
+                task = submit(self._stage_match, batch, cache, frozen, decision)
                 breakdown.reorg_ns = self._stage_reorganize()
                 stats, match_counters, view, breakdown.match_ns = task.result()
         else:
             stats, match_counters, view, breakdown.match_ns = self._stage_match(
-                batch, cache
+                batch, cache, prefilter=decision
             )
             breakdown.reorg_ns = self._stage_reorganize()
         return self._finish_batch(
             breakdown, stats, match_counters, view, estimation,
-            selected, cache, conflicts,
+            selected, cache, conflicts, decision,
         )
 
     def process_stream(self, batches) -> list[BatchResult]:
@@ -119,16 +128,31 @@ class PipelinedEngine(GCSMEngine):
             breakdown = TimeBreakdown()
             batch, breakdown.update_ns = self._stage_update(raw)
             conflicts = self.graph.last_canonical_report
-            estimation, breakdown.estimate_ns = self._stage_estimate(batch)
+            decision, breakdown.prefilter_ns = self._stage_prefilter(batch)
+            if decision is not None and decision.skip_batch:
+                # certified ΔM = 0: nothing to ship to the device lane; the
+                # store still reorganizes, and the in-flight batch drains
+                # first so results stay in batch order
+                breakdown.reorg_ns = self._stage_reorganize()
+                if inflight is not None:
+                    results.append(self._collect(*inflight))
+                    inflight = None
+                results.append(self._finish_skipped(breakdown, decision, conflicts))
+                continue
+            estimate_input = decision.estimate_batch if decision is not None else batch
+            estimation, breakdown.estimate_ns = self._stage_estimate(estimate_input)
             selected, cache, breakdown.pack_ns = self._stage_pack(estimation)
             frozen = self.graph.freeze()
-            task = submit(self._stage_match, batch, cache, frozen)
+            # the decision's masks are immutable, so the kernel thread never
+            # races the live index (maintained on this host thread)
+            task = submit(self._stage_match, batch, cache, frozen, decision)
             # host continues immediately: the freeze isolates the kernel
             breakdown.reorg_ns = self._stage_reorganize()
             if inflight is not None:
                 results.append(self._collect(*inflight))
             inflight = (
                 task, frozen, breakdown, estimation, selected, cache, conflicts,
+                decision,
             )
         if inflight is not None:
             results.append(self._collect(*inflight))
@@ -136,7 +160,8 @@ class PipelinedEngine(GCSMEngine):
 
     # ------------------------------------------------------------------
     def _collect(
-        self, task, frozen, breakdown, estimation, selected, cache, conflicts
+        self, task, frozen, breakdown, estimation, selected, cache, conflicts,
+        decision=None,
     ) -> BatchResult:
         try:
             stats, match_counters, view, breakdown.match_ns = task.result()
@@ -144,12 +169,12 @@ class PipelinedEngine(GCSMEngine):
             frozen.release()
         return self._finish_batch(
             breakdown, stats, match_counters, view, estimation,
-            selected, cache, conflicts,
+            selected, cache, conflicts, decision,
         )
 
     def _finish_batch(
         self, breakdown, stats, match_counters, view, estimation,
-        selected, cache, conflicts,
+        selected, cache, conflicts, decision=None,
     ) -> BatchResult:
         self.clock.annotate(breakdown)
         self.batches_processed += 1
@@ -165,6 +190,28 @@ class PipelinedEngine(GCSMEngine):
             cache_hits=view.hits,
             cache_misses=view.misses,
             conflicts=conflicts,
+            prefilter=decision.to_stats(breakdown.prefilter_ns)
+            if decision is not None
+            else None,
+        )
+
+    def _finish_skipped(self, breakdown, decision, conflicts) -> BatchResult:
+        """Batch-level certified skip: annotate the (prefilter + reorganize)
+        schedule and return an all-zero result carrying the skip stats."""
+        self.clock.annotate(breakdown)
+        self.batches_processed += 1
+        return BatchResult(
+            delta_count=0,
+            match_stats=MatchStats(roots_skipped=decision.roots_total),
+            breakdown=breakdown,
+            match_counters=AccessCounters(),
+            estimation=None,
+            cached_vertices=np.empty(0, dtype=VERTEX_DTYPE),
+            cache_bytes=0,
+            cache_hits=0,
+            cache_misses=0,
+            conflicts=conflicts,
+            prefilter=decision.to_stats(breakdown.prefilter_ns),
         )
 
     # ------------------------------------------------------------------
