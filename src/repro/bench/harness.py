@@ -100,10 +100,14 @@ class RunResult:
     # -- multi-GPU extras (left at defaults for single-device systems) -----
     num_devices: int = 1
     partitioner: str | None = None
+    partitioner_opts: dict | None = None  # resolved tuning knobs
     peer_bytes: int = 0  # summed over batches
     allreduce_ns: float = 0.0  # summed over batches
     imbalance: float | None = None  # mean per-batch max/mean shard time
     load_balance: list[dict] = field(default_factory=list)  # per-batch reports
+    #: online-repartitioning summary: resolved config + trigger/migration
+    #: totals over the stream (None when sticky ownership is off)
+    repartition: dict | None = None
     # -- multi-query (rulebook) extras -------------------------------------
     shared: bool | None = None  # shared trie execution vs per-query loop
     rulebook_size: int | None = None  # number of standing queries
@@ -172,6 +176,9 @@ def run_stream(
     imbalances: list[float] = []
     lb_reports: list[dict] = []
     pf_batches = pf_roots = pf_queries = 0
+    rep_evaluated = rep_triggered = rep_moved = rep_bytes = 0
+    rep_ns = 0.0
+    rep_last: dict | None = None
     for batch in batches:
         result: BatchResult = system.process_batch(batch)
         agg_breakdown = agg_breakdown + result.breakdown
@@ -199,6 +206,15 @@ def run_stream(
             pf_batches += pf.batches_skipped
             pf_roots += pf.roots_skipped
             pf_queries += pf.queries_skipped
+        rep = getattr(result, "repartition", None)
+        if rep is not None:
+            rep_evaluated += int(rep.evaluated)
+            rep_triggered += int(rep.triggered)
+            rep_moved += rep.moved
+            rep_bytes += rep.migration_bytes
+            rep_ns += rep.repartition_ns
+            if rep.evaluated or rep_last is None:
+                rep_last = rep.to_dict()  # last *drift evaluation*, not no-op
 
     n = max(1, len(batches))
     return RunResult(
@@ -220,10 +236,29 @@ def run_stream(
         conflict_mode=getattr(system, "conflict_mode", None),
         num_devices=getattr(system, "num_devices", 1),
         partitioner=getattr(getattr(system, "partitioner", None), "name", None),
+        partitioner_opts=(
+            opts
+            if (opts := getattr(getattr(system, "partitioner", None),
+                                "options", dict)())
+            else None
+        ),
         peer_bytes=peer_bytes,
         allreduce_ns=allreduce_ns,
         imbalance=float(np.mean(imbalances)) if imbalances else None,
         load_balance=lb_reports,
+        repartition=(
+            {
+                "config": cfg.to_dict(),
+                "evaluated": rep_evaluated,
+                "triggered": rep_triggered,
+                "moved": rep_moved,
+                "migration_bytes": rep_bytes,
+                "repartition_ns": rep_ns,
+                "last": rep_last,
+            }
+            if (cfg := getattr(system, "repartition_config", None)) is not None
+            else None
+        ),
         prefilter=(
             name
             if (name := getattr(system, "prefilter_name", "off")) != "off"

@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--partitioner", default="hash",
                        choices=list(PARTITIONER_NAMES),
                        help="vertex-ownership strategy for --devices (default: hash)")
+    run_p.add_argument("--partitioner-opt", action="append", default=[],
+                       metavar="KEY=VALUE", dest="partitioner_opts",
+                       help="tuning knob for --partitioner (repeatable), e.g. "
+                            "--partitioner-opt balance_slack=0.15")
+    run_p.add_argument("--repartition-every", type=int, default=None, metavar="N",
+                       help="enable sticky ownership + online repartitioning, "
+                            "evaluating drift every N batches (GCSM with "
+                            "--devices > 1 only)")
+    run_p.add_argument("--repartition-threshold", type=float, default=None,
+                       metavar="R",
+                       help="heat-weighted cut-rate that triggers a replan "
+                            "(default 0.25; implies --repartition-every 4 "
+                            "when set alone)")
     run_p.add_argument("--interconnect", default="nvlink",
                        choices=sorted(INTERCONNECTS),
                        help="peer-link cost preset for --devices (default: nvlink)")
@@ -303,6 +316,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         extra["partitioner"] = args.partitioner
         extra["workers"] = args.workers
+        if args.partitioner_opts:
+            opts: dict = {}
+            for item in args.partitioner_opts:
+                key, sep, value = item.partition("=")
+                if not sep or not key:
+                    print(f"bad --partitioner-opt {item!r}: expected KEY=VALUE",
+                          file=sys.stderr)
+                    return 2
+                try:
+                    opts[key] = int(value)
+                except ValueError:
+                    try:
+                        opts[key] = float(value)
+                    except ValueError:
+                        opts[key] = value
+            extra["partitioner_opts"] = opts
+        if args.repartition_every is not None or args.repartition_threshold is not None:
+            rep: dict = {}
+            if args.repartition_every is not None:
+                rep["every"] = args.repartition_every
+            if args.repartition_threshold is not None:
+                rep["threshold"] = args.repartition_threshold
+            extra["repartition"] = rep
+    elif args.partitioner_opts or args.repartition_every is not None \
+            or args.repartition_threshold is not None:
+        print("--partitioner-opt/--repartition-* require --devices",
+              file=sys.stderr)
+        return 2
     if args.conflict_mode is not None:
         extra["conflict_mode"] = args.conflict_mode
     if args.prefilter is not None:
@@ -334,8 +375,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  comm              : peer {format_bytes(result.peer_bytes)}, "
               f"all-reduce {format_time_ns(result.allreduce_ns)}")
         if result.imbalance is not None:
+            straggler = last.get("straggler")
+            tail = (f"(last batch straggler: shard {straggler})"
+                    if straggler is not None else "(idle fleet: no straggler)")
             print(f"  load balance      : mean imbalance {result.imbalance:.2f} "
-                  f"(last batch straggler: shard {last.get('straggler', '?')})")
+                  f"{tail}")
+        if result.repartition is not None:
+            rep = result.repartition
+            print(f"  repartition       : {rep['triggered']}/{rep['evaluated']} "
+                  f"replans, {rep['moved']} vertices moved "
+                  f"({format_bytes(rep['migration_bytes'])} migrated, "
+                  f"{format_time_ns(rep['repartition_ns'])})")
     if args.json:
         save_records([ExperimentRecord.from_run(result)], args.json)
         print(f"  record written to {args.json}")

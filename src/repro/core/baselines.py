@@ -405,19 +405,28 @@ def make_system(
     For ``GCSM``, passing ``devices`` (an int or a
     :class:`~repro.gpu.device.ClusterConfig`) routes to the sharded
     :class:`~repro.multigpu.engine.MultiGpuEngine` — together with the
-    optional ``partitioner`` and ``workers`` knobs.  ``devices`` omitted (or
-    ``None``) keeps the single-GPU engine.
+    optional ``partitioner`` / ``partitioner_opts`` / ``repartition`` /
+    ``workers`` knobs.  ``devices`` omitted (or ``None``) keeps the
+    single-GPU engine (which rejects the fleet-only knobs).
     """
     if name == "GCSM":
         devices = kwargs.pop("devices", None)
         partitioner = kwargs.pop("partitioner", "hash")
+        partitioner_opts = kwargs.pop("partitioner_opts", None)
+        repartition = kwargs.pop("repartition", None)
         workers = kwargs.pop("workers", None)
         if devices is not None:
             from repro.multigpu import MultiGpuEngine
 
             return MultiGpuEngine(
                 initial_graph, query, devices=devices, partitioner=partitioner,
+                partitioner_opts=partitioner_opts, repartition=repartition,
                 device=device, seed=seed, workers=workers, **kwargs,
+            )
+        if partitioner_opts or repartition:
+            raise ValueError(
+                "partitioner_opts/repartition require a multi-device GCSM "
+                "(pass devices=N)"
             )
         return GCSMEngine(initial_graph, query, device=device, seed=seed, **kwargs)
     if name == "Pipelined":

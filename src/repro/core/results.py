@@ -48,11 +48,15 @@ class ExperimentRecord:
     # -- multi-GPU extras (defaults keep old JSON files loadable) ----------
     num_devices: int = 1
     partitioner: str | None = None
+    #: resolved partitioner tuning knobs (None for default/hash placements)
+    partitioner_opts: dict | None = None
     comm_ns: float = 0.0
     peer_bytes: int = 0
     imbalance: float | None = None
     #: per-batch shard load-balance reports (``LoadBalanceReport.to_dict()``)
     load_balance: list = field(default_factory=list)
+    #: online-repartitioning summary (config + migration totals), None = off
+    repartition: dict | None = None
     # -- multi-query (rulebook) extras (None for single-query records) -----
     shared: bool | None = None
     rulebook_size: int | None = None
@@ -89,10 +93,12 @@ class ExperimentRecord:
             conflict_mode=getattr(run, "conflict_mode", None),
             num_devices=getattr(run, "num_devices", 1),
             partitioner=getattr(run, "partitioner", None),
+            partitioner_opts=getattr(run, "partitioner_opts", None),
             comm_ns=getattr(bd, "comm_ns", 0.0),
             peer_bytes=getattr(run, "peer_bytes", 0),
             imbalance=getattr(run, "imbalance", None),
             load_balance=list(getattr(run, "load_balance", []) or []),
+            repartition=getattr(run, "repartition", None),
             shared=getattr(run, "shared", None),
             rulebook_size=getattr(run, "rulebook_size", None),
             prefilter=getattr(run, "prefilter", None),
@@ -125,10 +131,12 @@ class ExperimentRecord:
             "conflict_mode": self.conflict_mode,
             "num_devices": self.num_devices,
             "partitioner": self.partitioner,
+            "partitioner_opts": self.partitioner_opts,
             "comm_ns": self.comm_ns,
             "peer_bytes": self.peer_bytes,
             "imbalance": self.imbalance,
             "load_balance": self.load_balance,
+            "repartition": self.repartition,
             "shared": self.shared,
             "rulebook_size": self.rulebook_size,
             "prefilter": self.prefilter,

@@ -54,21 +54,33 @@ def _parse_system_spec(spec: str) -> tuple[str, dict]:
 
     The ``@N`` suffix routes GCSM to the sharded multi-GPU engine so the
     fuzzer exercises the shard-union matching path alongside single-device
-    systems.  A ``+prefilter`` suffix (before any ``@N``) enables the
+    systems; an optional ``@N:partitioner`` picks the placement strategy
+    (e.g. ``"GCSM@4:mincut"``), which must never change results.  A
+    ``+prefilter`` suffix (before any ``@N``) enables the
     aggregate-invariant pre-filter on the system, e.g. ``"GCSM+prefilter"``
     or ``"GCSM+prefilter@2"`` — the fuzzer's exactness check then covers
-    the certified-skip path against every unfiltered system.
+    the certified-skip path against every unfiltered system.  A ``+repart``
+    suffix (requires ``@N``) turns on sticky ownership with online
+    repartitioning, e.g. ``"GCSM+repart@2:mincut"`` — drift-triggered
+    migration must also leave ΔM bit-identical.
     """
     kwargs: dict = {}
     if "+prefilter" in spec:
         spec = spec.replace("+prefilter", "", 1)
         kwargs["prefilter"] = "invariant"
+    if "+repart" in spec:
+        spec = spec.replace("+repart", "", 1)
+        require("@" in spec, f"+repart requires an @N device suffix, got {spec!r}")
+        kwargs["repartition"] = True
     if "@" in spec:
         name, _, devices = spec.partition("@")
         require(name == "GCSM", f"@N device suffix only applies to GCSM, got {spec!r}")
+        devices, _, partitioner = devices.partition(":")
         require(devices.isdigit() and int(devices) >= 1,
                 f"bad device count in system spec {spec!r}")
         kwargs["devices"] = int(devices)
+        if partitioner:
+            kwargs["partitioner"] = partitioner
         return name, kwargs
     return spec, kwargs
 
@@ -523,11 +535,14 @@ def generate_adversarial_stream(
 #: Every system the fuzzer cross-checks by default — both GCSM engines
 #: (single-GPU and 2-device sharded), the pipelined engine (same results,
 #: overlapped schedule), all four GPU baselines, the CPU loop, RapidFlow,
-#: and the prefiltered GCSM/pipelined variants (certified skips must be
-#: invisible in ΔM).
+#: the prefiltered GCSM/pipelined variants (certified skips must be
+#: invisible in ΔM), the min-cut-partitioned 4-device fleet, and the
+#: sticky-ownership online-repartitioning fleet (placement and migration
+#: must both be invisible in ΔM).
 DEFAULT_FUZZ_SYSTEMS = (
     "GCSM", "GCSM@2", "Pipelined", "ZC", "UM", "Naive", "VSGM", "CPU",
     "RapidFlow", "GCSM+prefilter", "Pipelined+prefilter",
+    "GCSM@4:mincut", "GCSM+repart@2:mincut",
 )
 
 #: Queries the fuzz cases rotate through (kept small: the oracle recounts

@@ -94,6 +94,11 @@ class TimeBreakdown:
     * ``prefilter_ns`` — aggregate-invariant index maintenance + the
       certified-skip decision (``repro.core.prefilter``); a host-side step
       between update and estimate, always 0 with ``prefilter="off"``
+    * ``repartition_ns`` — multi-GPU online repartitioning
+      (``repro.multigpu.repartition``): drift evaluation + migration
+      planning on the host, plus the PEER/DMA bytes of any accepted
+      migration; a host-side step between estimate and pack, always 0
+      without ``repartition=``
 
     The three pipeline fields are 0 for serially executed batches and are
     filled in by :class:`PipelineClock` when the engine models cross-batch
@@ -118,6 +123,7 @@ class TimeBreakdown:
     reorg_ns: float = 0.0
     comm_ns: float = 0.0
     prefilter_ns: float = 0.0
+    repartition_ns: float = 0.0
     critical_path_ns: float = 0.0
     fill_ns: float = 0.0
     drain_ns: float = 0.0
@@ -133,6 +139,7 @@ class TimeBreakdown:
             + self.reorg_ns
             + self.comm_ns
             + self.prefilter_ns
+            + self.repartition_ns
         )
 
     @property
@@ -168,6 +175,7 @@ class TimeBreakdown:
             self.reorg_ns + other.reorg_ns,
             self.comm_ns + other.comm_ns,
             self.prefilter_ns + other.prefilter_ns,
+            self.repartition_ns + other.repartition_ns,
             self.critical_path_ns + other.critical_path_ns,
             self.fill_ns + other.fill_ns,
             self.drain_ns + other.drain_ns,
@@ -182,6 +190,7 @@ class TimeBreakdown:
             self.reorg_ns * factor,
             self.comm_ns * factor,
             self.prefilter_ns * factor,
+            self.repartition_ns * factor,
             self.critical_path_ns * factor,
             self.fill_ns * factor,
             self.drain_ns * factor,
@@ -214,6 +223,7 @@ PIPELINE_STAGES = (
     StageSpec("update", "cpu"),
     StageSpec("prefilter", "cpu"),
     StageSpec("estimate", "cpu"),
+    StageSpec("repartition", "cpu"),
     StageSpec("pack", "cpu"),
     StageSpec("match", "gpu"),
     StageSpec("reorganize", "cpu"),
@@ -250,8 +260,9 @@ class PipelineClock:
     CPU stages (update → estimate → pack) run while batch *k* is still
     matching on the device.  Dependencies:
 
-    * CPU lane, FIFO: ``update(k) → prefilter(k) → estimate(k) → pack(k) →
-      reorganize(k)`` then ``update(k+1)`` — the host store is serial.
+    * CPU lane, FIFO: ``update(k) → prefilter(k) → estimate(k) →
+      repartition(k) → pack(k) → reorganize(k)`` then ``update(k+1)`` —
+      the host store is serial.
     * ``match(k)`` starts after ``pack(k)`` (its cache must be shipped) and
       after ``match(k-1)`` (one in-order kernel lane per device fleet).
     * ``comm(k)`` (ΔM all-reduce) follows ``match(k)`` on the PEER lane.
@@ -287,6 +298,7 @@ class PipelineClock:
             ("update", breakdown.update_ns),
             ("prefilter", breakdown.prefilter_ns),
             ("estimate", breakdown.estimate_ns),
+            ("repartition", breakdown.repartition_ns),
             ("pack", breakdown.pack_ns),
         ):
             start[name] = t

@@ -5,8 +5,11 @@ Public surface:
 * :class:`~repro.multigpu.engine.MultiGpuEngine` — the sharded engine;
   drop-in for :class:`~repro.core.engine.GCSMEngine` (``devices=1`` is
   bit-identical to it).
-* :mod:`~repro.multigpu.partition` — hash / range / frequency-aware
-  vertex-ownership strategies.
+* :mod:`~repro.multigpu.partition` — hash / range / frequency-aware /
+  min-cut vertex-ownership strategies.
+* :mod:`~repro.multigpu.repartition` — online repartitioning: sticky
+  ownership, EWMA access-heat tracking, drift-triggered incremental
+  migration priced as interconnect traffic.
 * :mod:`~repro.multigpu.shard` — per-device state and the peer-read path.
 * :mod:`~repro.multigpu.comm` — interconnect cost model (PEER reads,
   ΔM all-reduce) and per-batch traffic reports.
@@ -24,9 +27,19 @@ from repro.multigpu.partition import (
     PARTITIONER_NAMES,
     FrequencyPartitioner,
     HashPartitioner,
+    MincutPartitioner,
     Partitioner,
     RangePartitioner,
+    adjacency_csr,
     make_partitioner,
+    refine_labels,
+    weighted_cut,
+)
+from repro.multigpu.repartition import (
+    OwnershipManager,
+    RepartitionConfig,
+    RepartitionReport,
+    normalize_repartition,
 )
 from repro.multigpu.shard import Shard, ShardedDeviceView
 
@@ -39,8 +52,16 @@ __all__ = [
     "HashPartitioner",
     "RangePartitioner",
     "FrequencyPartitioner",
+    "MincutPartitioner",
+    "adjacency_csr",
+    "weighted_cut",
+    "refine_labels",
     "make_partitioner",
     "PARTITIONER_NAMES",
+    "OwnershipManager",
+    "RepartitionConfig",
+    "RepartitionReport",
+    "normalize_repartition",
     "Shard",
     "ShardedDeviceView",
     "CommReport",

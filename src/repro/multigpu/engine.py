@@ -31,7 +31,8 @@ cross-shard PEER traffic and the serial host phases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -61,7 +62,13 @@ from repro.gpu.clock import PipelineClock, ScheduleReport, TimeBreakdown, simula
 from repro.gpu.counters import AccessCounters, Channel
 from repro.gpu.device import ClusterConfig, DeviceConfig, default_device
 from repro.multigpu.comm import CommReport, allreduce_delta_ns, comm_report
-from repro.multigpu.partition import Partitioner, make_partitioner
+from repro.multigpu.partition import Partitioner, _hash_owners, make_partitioner
+from repro.multigpu.repartition import (
+    OwnershipManager,
+    RepartitionConfig,
+    RepartitionReport,
+    normalize_repartition,
+)
 from repro.multigpu.shard import Shard, ShardedDeviceView
 from repro.parallel import parallel_map
 from repro.query.pattern import QueryGraph
@@ -129,14 +136,19 @@ class LoadBalanceReport:
 
     @property
     def imbalance(self) -> float:
-        """max/mean shard match time; 1.0 is a perfectly balanced fleet."""
+        """max/mean shard match time; 1.0 is a perfectly balanced fleet.
+
+        An idle fleet (every shard's match time zero — e.g. all roots
+        masked away) is *defined* as perfectly balanced: 1.0, not 0/0.
+        """
         return self.max_ns / self.mean_ns if self.mean_ns else 1.0
 
     @property
-    def straggler(self) -> int:
-        """Shard id of the slowest device."""
-        if not self.shard_match_ns:
-            return 0
+    def straggler(self) -> int | None:
+        """Shard id of the slowest device, or ``None`` on an idle fleet
+        (all shard match times zero: nobody straggled)."""
+        if not self.shard_match_ns or self.max_ns == 0.0:
+            return None
         return int(max(range(len(self.shard_match_ns)),
                        key=lambda i: self.shard_match_ns[i]))
 
@@ -164,6 +176,7 @@ class MultiBatchResult(BatchResult):
     shard_reports: list[ShardBatchReport] = field(default_factory=list)
     load_balance: LoadBalanceReport | None = None
     comm: CommReport | None = None
+    repartition: RepartitionReport | None = None
 
 
 class _ShardMatchOutcome:
@@ -190,11 +203,28 @@ class MultiGpuEngine:
         Device count, or a full :class:`~repro.gpu.device.ClusterConfig`
         (interconnect choice, all-reduce latency, base device).
     partitioner:
-        ``"hash"`` | ``"range"`` | ``"freq"`` or a
+        ``"hash"`` | ``"range"`` | ``"freq"`` | ``"mincut"`` or a
         :class:`~repro.multigpu.partition.Partitioner` instance.  The
-        frequency-aware partitioner re-runs per batch on that batch's
+        frequency-aware partitioners re-run per batch on that batch's
         random-walk estimates (the cache is rebuilt and re-shipped every
-        batch anyway, so re-homing is free).
+        batch anyway, so re-homing is free) — unless ``repartition`` makes
+        ownership sticky.
+    partitioner_opts:
+        Optional mapping of tuning knobs for a *named* partitioner
+        (``balance_slack`` for freq/mincut; ``refine_passes`` / ``chunk``
+        / ``load_weight`` for mincut).  The resolved knobs are recorded in
+        the harness/results JSON.
+    repartition:
+        Online repartitioning (``None``/``False`` off, ``True`` defaults,
+        or a mapping / :class:`~repro.multigpu.repartition.RepartitionConfig`
+        of knobs).  When enabled the owner map becomes **sticky**: the
+        partitioner runs once on the first batch, new vertices get hash
+        homes, and an :class:`~repro.multigpu.repartition.OwnershipManager`
+        tracks per-vertex access heat (EWMA over the match counters),
+        detects drift, and migrates vertices whose move pays back within
+        the horizon — migration priced as PEER + DMA traffic in
+        ``breakdown.repartition_ns`` (its own host pipeline lane stage).
+        Results never change, only placement and timing.
     device:
         Base per-shard DeviceConfig; ignored when ``devices`` is a
         ClusterConfig (use its ``base``).
@@ -222,6 +252,8 @@ class MultiGpuEngine:
         *,
         devices: int | ClusterConfig = 1,
         partitioner: str | Partitioner = "hash",
+        partitioner_opts: Mapping | None = None,
+        repartition: RepartitionConfig | Mapping | bool | None = None,
         device: DeviceConfig | None = None,
         policy: str | CachePolicy = "frequency",
         num_walks: int | None = None,
@@ -271,7 +303,17 @@ class MultiGpuEngine:
         self.prefilter_index = (
             InvariantIndex(self.graph) if self.prefilter_name != "off" else None
         )
-        self.partitioner = make_partitioner(partitioner)
+        self.partitioner = make_partitioner(partitioner, partitioner_opts)
+        self.repartition_config = normalize_repartition(repartition)
+        # online repartitioning is a fleet concern: at N=1 there is no
+        # placement, so the manager is absent and the single-GPU code path
+        # (and its bit-identical invariant) is untouched
+        self.ownership = (
+            OwnershipManager(self.num_devices, self.repartition_config, self.device)
+            if self.repartition_config is not None and self.num_devices > 1
+            else None
+        )
+        self._owner: np.ndarray | None = None  # sticky map (repartition mode)
         self.workers = workers
         self.shards = [
             Shard(i, dev, self.cache_budget_bytes)
@@ -346,15 +388,36 @@ class MultiGpuEngine:
             )
         frequencies = estimation.frequencies if estimation is not None else None
 
-        # -- partition (host; folded into the pack phase) ------------------
+        # -- partition (host) ----------------------------------------------
+        # per-batch re-placement folds into the pack phase; sticky ownership
+        # (repartition mode) is its own host stage: repartition_ns
         owner: np.ndarray | None = None
         partition_ns = 0.0
+        repart_report: RepartitionReport | None = None
         if self.num_devices > 1:
             part_counters = AccessCounters()
-            owner = self.partitioner.assign(
-                graph, frequencies, self.num_devices, part_counters
-            )
-            partition_ns = simulated_time_ns(part_counters, self.device, platform="cpu")
+            if self.ownership is None:
+                owner = self.partitioner.assign(
+                    graph, frequencies, self.num_devices, part_counters,
+                    roots=batch.edges,
+                )
+                partition_ns = simulated_time_ns(
+                    part_counters, self.device, platform="cpu"
+                )
+            else:
+                owner, repart_report = self._sticky_owner_step(
+                    graph, frequencies, part_counters, batch.edges
+                )
+                breakdown.repartition_ns = (
+                    simulated_time_ns(part_counters, self.device, platform="cpu")
+                    + (repart_report.repartition_ns if repart_report else 0.0)
+                )
+                if repart_report is not None:
+                    # surface the full stage cost (planning compute +
+                    # migration traffic) to JSON consumers
+                    repart_report = replace(
+                        repart_report, repartition_ns=breakdown.repartition_ns
+                    )
 
         # -- step 3: per-shard select + pack + DMA (own links overlap) -----
         ranked = self.policy.rank(graph, frequencies)
@@ -427,6 +490,9 @@ class MultiGpuEngine:
             shard_roots=tuple(o.stats.roots_processed for o in outcomes),
         )
         comm = comm_report([o.counters for o in outcomes], breakdown.comm_ns)
+        if self.ownership is not None:
+            # feed the heat EWMA with this batch's per-vertex read bytes
+            self.ownership.observe(merged.vertex_access_bytes(graph.num_vertices))
 
         if self.clock is not None:
             self.clock.annotate(breakdown)
@@ -451,7 +517,36 @@ class MultiGpuEngine:
             shard_reports=shard_reports,
             load_balance=balance,
             comm=comm,
+            repartition=repart_report,
         )
+
+    def _sticky_owner_step(
+        self,
+        graph: DynamicGraph,
+        frequencies: np.ndarray | None,
+        counters: AccessCounters,
+        roots: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, RepartitionReport | None]:
+        """Owner map under online repartitioning (sticky across batches).
+
+        First batch: one full partitioner placement.  Later batches: grow
+        the map with hash homes for new vertices, then let the ownership
+        manager evaluate drift and maybe migrate.
+        """
+        if self._owner is None:
+            self._owner = self.partitioner.assign(
+                graph, frequencies, self.num_devices, counters, roots=roots
+            )
+            return self._owner, None
+        n = graph.num_vertices
+        if n > self._owner.size:
+            old = self._owner.size
+            grown = _hash_owners(n, self.num_devices)
+            grown[:old] = self._owner
+            self._owner = grown
+            counters.record_compute(n - old)
+        self._owner, report = self.ownership.step(graph, self._owner, counters)
+        return self._owner, report
 
     def process_stream(self, batches: list[UpdateBatch]) -> list[MultiBatchResult]:
         """Convenience: process a whole stream, returning per-batch results."""

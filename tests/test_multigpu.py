@@ -20,10 +20,14 @@ from repro.gpu.device import ClusterConfig, DeviceConfig, default_cluster
 from repro.multigpu import (
     FrequencyPartitioner,
     HashPartitioner,
+    LoadBalanceReport,
+    MincutPartitioner,
     MultiGpuEngine,
     RangePartitioner,
     ShardedDeviceView,
+    adjacency_csr,
     make_partitioner,
+    weighted_cut,
 )
 from repro.multigpu.comm import allreduce_delta_ns, comm_report
 from repro.query import QueryGraph
@@ -88,7 +92,7 @@ class TestSingleDeviceEquivalence:
 class TestMultiDeviceCorrectness:
     """Sharding must never change ΔM, for any N or partitioner."""
 
-    @pytest.mark.parametrize("partitioner", ["hash", "range", "freq"])
+    @pytest.mark.parametrize("partitioner", ["hash", "range", "freq", "mincut"])
     @pytest.mark.parametrize("devices", [2, 4])
     def test_delta_counts_match_single_gpu(self, devices, partitioner):
         g0, batches = _stream(WORKLOADS[1][1])
@@ -153,7 +157,7 @@ class TestPartitioners:
     def _graph(self):
         return DynamicGraph(powerlaw_graph(400, 8.0, max_degree=60, seed=3))
 
-    @pytest.mark.parametrize("name", ["hash", "range", "freq"])
+    @pytest.mark.parametrize("name", ["hash", "range", "freq", "mincut"])
     def test_complete_cover(self, name):
         g = self._graph()
         freqs = np.zeros(g.num_vertices)
@@ -194,11 +198,70 @@ class TestPartitioners:
         with pytest.raises(ValueError):
             make_partitioner("metis")
 
+    def test_freq_vectorized_matches_reference(self):
+        g = self._graph()
+        rng = np.random.default_rng(41)
+        freqs = rng.random(g.num_vertices)
+        freqs[rng.random(g.num_vertices) < 0.6] = 0.0  # mixed hot/cold
+        p = FrequencyPartitioner()
+        for k in (2, 4, 7):
+            assert np.array_equal(
+                p.assign(g, freqs, k), p.assign_reference(g, freqs, k)
+            )
+
+    def test_mincut_deterministic_with_roots(self):
+        g = self._graph()
+        freqs = g.degrees_new().astype(float)
+        rng = np.random.default_rng(17)
+        roots = rng.integers(0, g.num_vertices, size=(64, 2)).astype(np.int64)
+        a = MincutPartitioner().assign(g, freqs, 4, roots=roots)
+        b = MincutPartitioner().assign(g, freqs, 4, roots=roots)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 4
+
+    def test_mincut_respects_degree_mass_cap(self):
+        g = self._graph()
+        freqs = g.degrees_new().astype(float)
+        owner = MincutPartitioner(balance_slack=0.20).assign(g, freqs, 4)
+        degrees = g.degrees_new().astype(np.int64)
+        load = np.bincount(owner, weights=degrees, minlength=4)
+        cap = 1.20 * degrees.sum() / 4
+        assert load.max() <= cap + degrees.max()  # cap enforced pre-move
+
+    def test_mincut_cuts_fewer_weighted_edges_than_hash(self):
+        g = self._graph()
+        freqs = g.degrees_new().astype(float)
+        rowptr, cols, _ = adjacency_csr(g)
+        hash_owner = HashPartitioner().assign(g, None, 4)
+        cut_owner = MincutPartitioner().assign(g, freqs, 4)
+        hash_cut, _ = weighted_cut(rowptr, cols, hash_owner, freqs)
+        mc_cut, _ = weighted_cut(rowptr, cols, cut_owner, freqs)
+        assert mc_cut < hash_cut
+
     def test_counters_priced(self):
         g = self._graph()
         counters = AccessCounters()
         HashPartitioner().assign(g, None, 2, counters)
         assert counters.compute_ops > 0
+
+
+class TestLoadBalanceReport:
+    def test_idle_fleet_is_balanced_with_no_straggler(self):
+        rep = LoadBalanceReport(
+            shard_match_ns=(0.0, 0.0, 0.0, 0.0), shard_roots=(0, 0, 0, 0)
+        )
+        assert rep.imbalance == 1.0
+        assert rep.straggler is None
+        payload = rep.to_dict()
+        assert payload["imbalance"] == 1.0
+        assert payload["straggler"] is None
+
+    def test_busy_fleet_straggler_identified(self):
+        rep = LoadBalanceReport(
+            shard_match_ns=(10.0, 40.0, 30.0), shard_roots=(1, 4, 3)
+        )
+        assert rep.straggler == 1
+        assert rep.imbalance == pytest.approx(40.0 / (80.0 / 3))
 
 
 class TestClusterConfig:

@@ -1,0 +1,108 @@
+"""Property-based tests over every partitioner (``hypothesis``).
+
+Whatever the graph, frequency vector, device count, or root batch, a
+partitioner must return a *total, in-range, deterministic* ownership map —
+the multi-GPU engine's disjoint root cover (and hence ΔM correctness)
+rests on exactly these three properties.  The balance-capped strategies
+additionally must never overshoot their degree-mass cap by more than one
+vertex (cap checked before each placement, not after).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.dynamic_graph import DynamicGraph
+from repro.graphs.generators import erdos_renyi, powerlaw_graph
+from repro.multigpu import PARTITIONER_NAMES, adjacency_csr, make_partitioner
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _graph(kind: str, n: int, seed: int) -> DynamicGraph:
+    avg = min(4.0, (n - 1) / 2) if n > 1 else 0.0
+    if kind == "er":
+        return DynamicGraph(erdos_renyi(n, avg, num_labels=2, seed=seed))
+    return DynamicGraph(powerlaw_graph(n, avg, max_degree=30, num_labels=2, seed=seed))
+
+
+graph_params = st.tuples(
+    st.sampled_from(["er", "pl"]),
+    st.integers(min_value=2, max_value=120),
+    st.integers(min_value=0, max_value=2**16),
+)
+
+
+@st.composite
+def partitioner_case(draw):
+    name = draw(st.sampled_from(sorted(PARTITIONER_NAMES)))
+    kind, n, seed = draw(graph_params)
+    k = draw(st.integers(min_value=1, max_value=6))
+    freq_mode = draw(st.sampled_from(["none", "zeros", "degrees", "random"]))
+    with_roots = draw(st.booleans())
+    return name, kind, n, seed, k, freq_mode, with_roots
+
+
+def _frequencies(mode: str, g: DynamicGraph, seed: int):
+    if mode == "none":
+        return None
+    if mode == "zeros":
+        return np.zeros(g.num_vertices)
+    if mode == "degrees":
+        return g.degrees_new().astype(float)
+    rng = np.random.default_rng(seed)
+    f = rng.random(g.num_vertices)
+    f[rng.random(g.num_vertices) < 0.5] = 0.0
+    return f
+
+
+@given(case=partitioner_case())
+@SETTINGS
+def test_total_in_range_deterministic(case):
+    name, kind, n, seed, k, freq_mode, with_roots = case
+    g = _graph(kind, n, seed)
+    freqs = _frequencies(freq_mode, g, seed)
+    roots = None
+    if with_roots and g.num_vertices:
+        rng = np.random.default_rng(seed + 1)
+        roots = rng.integers(0, g.num_vertices, size=(16, 2)).astype(np.int64)
+    a = make_partitioner(name).assign(g, freqs, k, roots=roots)
+    b = make_partitioner(name).assign(g, freqs, k, roots=roots)
+
+    assert a.shape == (g.num_vertices,)          # total: every vertex owned
+    assert a.dtype == np.int64
+    if g.num_vertices:
+        assert a.min() >= 0 and a.max() < k      # in range
+    assert np.array_equal(a, b)                  # deterministic
+
+
+@given(
+    name=st.sampled_from(["freq", "mincut"]),
+    params=graph_params,
+    k=st.integers(min_value=2, max_value=6),
+)
+@SETTINGS
+def test_balance_cap_never_overshoots_by_one_placement_unit(name, params, k):
+    """The cap is checked before each placement, so a shard can exceed it
+    by at most one placement unit: a single vertex for ``mincut``'s
+    streaming, a hot vertex plus its unclaimed neighbors (one closed
+    neighborhood) for ``freq``'s group pulls."""
+    kind, n, seed = params
+    g = _graph(kind, n, seed)
+    freqs = g.degrees_new().astype(float)  # everything hot: worst case for caps
+    part = make_partitioner(name, {"balance_slack": 0.15})
+    owner = part.assign(g, freqs, k)
+    degrees = g.degrees_new().astype(np.int64)
+    if degrees.sum() == 0:
+        return
+    load = np.bincount(owner, weights=degrees, minlength=k)
+    cap = 1.15 * degrees.sum() / k
+    if name == "mincut":
+        unit = degrees.max()
+    else:
+        rowptr, cols, _ = adjacency_csr(g)
+        rows = np.repeat(np.arange(g.num_vertices), np.diff(rowptr))
+        nbr_mass = np.bincount(rows, weights=degrees[cols],
+                               minlength=g.num_vertices)
+        unit = (degrees + nbr_mass).max()
+    assert load.max() <= cap + unit

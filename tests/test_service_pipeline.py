@@ -60,9 +60,10 @@ class TestPipelineClockSchedule:
     def test_stage_resource_classes(self):
         assert STAGE_RESOURCES["match"] == "gpu"
         assert STAGE_RESOURCES["comm"] == "peer"
-        for name in ("update", "prefilter", "estimate", "pack", "reorganize"):
+        for name in ("update", "prefilter", "estimate", "repartition", "pack",
+                     "reorganize"):
             assert STAGE_RESOURCES[name] == "cpu"
-        assert len(PIPELINE_STAGES) == 7
+        assert len(PIPELINE_STAGES) == 8
 
     def test_single_batch_has_no_overlap_benefit_beyond_reorg(self):
         # one batch: match overlaps only reorganize
