@@ -5,10 +5,20 @@
 systems, as the paper does).  ``run_stream`` drives one system over one or
 more batches and aggregates simulated timings, traffic, and GCSM-specific
 artifacts into a :class:`RunResult`.
+
+Workloads span several *update mixes* (the axis batch-dynamic systems are
+regime-sensitive to): the paper's balanced ``mixed`` stream, skewed
+``insert-heavy`` / ``delete-heavy`` variants, a ``churn`` stream whose
+batches delete the previous batch's inserts, and the fuzzer's
+``adversarial`` anomaly stream.  A ``window`` overlays TTL expiry
+(:mod:`repro.graphs.window`) on any mix.  Requests larger than the dataset
+can serve are *explicitly* truncated: the returned :class:`Workload`
+records requested vs delivered sizes and a ``RuntimeWarning`` is emitted.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,7 +27,7 @@ from repro.core.baselines import make_system
 from repro.core.engine import BatchResult
 from repro.graphs import datasets
 from repro.graphs.static_graph import StaticGraph
-from repro.graphs.stream import UpdateBatch, derive_stream
+from repro.graphs.stream import UpdateBatch, churn_stream, derive_stream
 from repro.gpu.clock import TimeBreakdown
 from repro.gpu.counters import AccessCounters
 from repro.gpu.device import DeviceConfig
@@ -26,16 +36,22 @@ from repro.utils import format_time_ns
 
 __all__ = [
     "RunResult",
+    "Workload",
+    "UPDATE_MIXES",
     "run_stream",
     "run_rulebook_stream",
     "run_service",
     "build_workload",
+    "resolve_partitioner_opts",
     "clear_caches",
     "print_table",
 ]
 
+#: recognized ``update_mix`` values for :func:`build_workload`
+UPDATE_MIXES = ("mixed", "insert-heavy", "delete-heavy", "churn", "adversarial")
+
 _GRAPH_CACHE: dict[tuple, StaticGraph] = {}
-_STREAM_CACHE: dict[tuple, tuple[StaticGraph, list[UpdateBatch]]] = {}
+_STREAM_CACHE: dict[tuple, "Workload"] = {}
 
 
 def clear_caches() -> None:
@@ -44,33 +60,184 @@ def clear_caches() -> None:
     _STREAM_CACHE.clear()
 
 
+@dataclass(frozen=True)
+class Workload:
+    """One memoized (initial graph, update stream) pair plus its audit trail.
+
+    Iterable as ``(graph, batches)`` for drop-in compatibility with the
+    historical tuple return of :func:`build_workload`; the extra fields make
+    request-vs-delivery explicit (the dataset caps the derivable update
+    count at ``num_edges // 2``, so a large request can come back smaller).
+    """
+
+    graph: StaticGraph
+    batches: list[UpdateBatch]
+    batch_size_requested: int
+    num_batches_requested: int
+    updates_requested: int
+    update_mix: str = "mixed"
+    window: int | None = None
+
+    def __iter__(self):
+        # yields the *same* objects on every call, preserving the memoized
+        # identity semantics of the historical tuple return
+        yield self.graph
+        yield self.batches
+
+    @property
+    def updates_delivered(self) -> int:
+        return int(sum(len(b) for b in self.batches))
+
+    @property
+    def num_batches_delivered(self) -> int:
+        return len(self.batches)
+
+    @property
+    def batch_sizes(self) -> list[int]:
+        return [len(b) for b in self.batches]
+
+    @property
+    def truncated(self) -> bool:
+        """True when the dataset could not satisfy the requested volume."""
+        return (self.num_batches_delivered < self.num_batches_requested
+                or self.updates_delivered < self.updates_requested)
+
+    def describe(self) -> str:
+        state = "truncated" if self.truncated else "full"
+        return (
+            f"Workload({self.update_mix}, {state}: "
+            f"{self.num_batches_delivered}/{self.num_batches_requested} batches, "
+            f"{self.updates_delivered}/{self.updates_requested} updates)"
+        )
+
+
+def _validate_size(name: str, value: int) -> int:
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
 def build_workload(
     dataset: str,
     *,
     batch_size: int | None = None,
     num_batches: int = 1,
     seed: int = 0,
-) -> tuple[StaticGraph, list[UpdateBatch]]:
+    update_mix: str = "mixed",
+    window: int | None = None,
+) -> Workload:
     """Dataset analog + derived update stream (paper Sec. VI-A methodology).
 
     ``batch_size=None`` uses the dataset's default (the scaled analog of the
-    paper's 4096/8192).  Streams are derived with enough updates to fill
-    ``num_batches`` batches and memoized per parameter set.
+    paper's 4096/8192); explicit sizes must be positive (``0`` is an error,
+    not "use the default").  Streams are derived with enough updates to fill
+    ``num_batches`` batches and memoized per parameter set.  The derivable
+    update count is capped at ``graph.num_edges // 2``; when the cap bites,
+    the returned :class:`Workload` reports it and a ``RuntimeWarning`` is
+    emitted (on cache hits too).
+
+    ``update_mix`` picks the stream regime (:data:`UPDATE_MIXES`);
+    ``window`` overlays TTL expiry of that many batches
+    (:func:`repro.graphs.window.apply_window` — windowed streams need a
+    non-``strict`` conflict mode downstream).
     """
     spec = datasets.DATASETS[dataset]
-    bs = batch_size or spec.default_batch_size
+    if batch_size is None:
+        bs = spec.default_batch_size
+    else:
+        bs = _validate_size("batch_size", batch_size)
+    nb = _validate_size("num_batches", num_batches)
+    if update_mix not in UPDATE_MIXES:
+        raise ValueError(
+            f"unknown update_mix {update_mix!r}; expected one of {UPDATE_MIXES}"
+        )
+    if window is not None:
+        window = _validate_size("window", window)
     gkey = (dataset, seed)
     if gkey not in _GRAPH_CACHE:
         _GRAPH_CACHE[gkey] = spec.build(seed)
     graph = _GRAPH_CACHE[gkey]
-    skey = (dataset, seed, bs, num_batches)
+    skey = (dataset, seed, bs, nb, update_mix, window)
     if skey not in _STREAM_CACHE:
-        num_updates = min(bs * num_batches, graph.num_edges // 2)
-        g0, batches = derive_stream(
-            graph, num_updates=num_updates, batch_size=bs, seed=seed + 1
+        _STREAM_CACHE[skey] = _derive_workload(graph, bs, nb, seed, update_mix, window)
+    workload = _STREAM_CACHE[skey]
+    if workload.truncated:
+        # warn on every call (memoized hits included): the caller asking is
+        # the one whose run shrinks
+        warnings.warn(
+            f"workload truncated for {dataset!r}: requested "
+            f"{workload.num_batches_requested} x {workload.batch_size_requested} "
+            f"updates but the dataset caps at {graph.num_edges // 2} "
+            f"({workload.num_batches_delivered} batches / "
+            f"{workload.updates_delivered} updates delivered)",
+            RuntimeWarning,
+            stacklevel=2,
         )
-        _STREAM_CACHE[skey] = (g0, batches)
-    return _STREAM_CACHE[skey]
+    return workload
+
+
+def _derive_workload(
+    graph: StaticGraph,
+    bs: int,
+    nb: int,
+    seed: int,
+    update_mix: str,
+    window: int | None,
+) -> Workload:
+    requested = bs * nb
+    capped = min(requested, graph.num_edges // 2)
+    if update_mix == "adversarial":
+        from repro.core.validation import generate_adversarial_stream
+
+        # synthesized anomalies (duplicates, phantom deletes, flapping)
+        # don't consume distinct dataset edges, so no cap applies
+        g0, batches = graph, generate_adversarial_stream(
+            graph, num_batches=nb, batch_size=max(4, bs), seed=seed + 1
+        )
+        requested = max(4, bs) * nb
+    elif update_mix == "churn":
+        g0, batches = churn_stream(
+            graph, num_updates=capped, batch_size=bs, seed=seed + 1
+        )
+    else:
+        p_insert = {"mixed": 0.5, "insert-heavy": 0.9, "delete-heavy": 0.1}[update_mix]
+        g0, batches = derive_stream(
+            graph, num_updates=capped, batch_size=bs, seed=seed + 1,
+            insert_probability=p_insert,
+        )
+    if window is not None:
+        from repro.graphs.window import apply_window
+
+        batches, _report = apply_window(g0, batches, window=window)
+    return Workload(
+        graph=g0,
+        batches=list(batches),
+        batch_size_requested=bs,
+        num_batches_requested=nb,
+        updates_requested=requested,
+        update_mix=update_mix,
+        window=window,
+    )
+
+
+def resolve_partitioner_opts(system) -> dict | None:
+    """Resolved tuning knobs of ``system``'s partitioner, if any.
+
+    Normalizes the two legitimate shapes a partitioner may expose —
+    ``options`` as a zero-arg callable or as a plain mapping attribute —
+    and preserves the distinction between ``{}`` (configured with no
+    overrides) and ``None`` (no partitioner / no options surface).
+    """
+    partitioner = getattr(system, "partitioner", None)
+    if partitioner is None:
+        return None
+    opts = getattr(partitioner, "options", None)
+    if callable(opts):
+        opts = opts()
+    if opts is None:
+        return None
+    return dict(opts)
 
 
 @dataclass
@@ -84,13 +251,21 @@ class RunResult:
     system: str
     dataset: str
     query: str
-    batch_size: int
-    num_batches: int
+    batch_size: float  # actual mean updates per driven batch
+    num_batches: int  # batches actually driven
     breakdown: TimeBreakdown  # mean per batch
     counters: AccessCounters  # summed over batches
     delta_total: int
     embeddings_total: int
     cpu_access_bytes: int  # mean per batch
+    #: requested sizing (None for legacy records): diverges from the actual
+    #: ``batch_size`` / ``num_batches`` when the dataset truncates the
+    #: derivable update stream (``build_workload`` caps at num_edges // 2)
+    batch_size_requested: int | None = None
+    num_batches_requested: int | None = None
+    #: workload axes the stream was built with (``build_workload``)
+    update_mix: str | None = None
+    window: int | None = None
     coverage_top1: float | None = None
     coverage_top5: float | None = None
     cache_hit_rate: float | None = None
@@ -153,13 +328,17 @@ def run_stream(
     num_batches: int = 1,
     seed: int = 0,
     device: DeviceConfig | None = None,
+    update_mix: str = "mixed",
+    window: int | None = None,
     **system_kwargs,
 ) -> RunResult:
     """Build the workload, drive ``system_name`` over it, aggregate."""
-    g0, batches = build_workload(
-        dataset, batch_size=batch_size, num_batches=num_batches, seed=seed
+    workload = build_workload(
+        dataset, batch_size=batch_size, num_batches=num_batches, seed=seed,
+        update_mix=update_mix, window=window,
     )
-    batches = batches[:num_batches]
+    g0 = workload.graph
+    batches = workload.batches[:num_batches]
     system = make_system(system_name, g0, query, device=device, seed=seed, **system_kwargs)
 
     agg_breakdown = TimeBreakdown()
@@ -221,8 +400,12 @@ def run_stream(
         system=system_name,
         dataset=dataset,
         query=query.name,
-        batch_size=batch_size or datasets.DATASETS[dataset].default_batch_size,
+        batch_size=float(np.mean([len(b) for b in batches])) if batches else 0.0,
         num_batches=len(batches),
+        batch_size_requested=workload.batch_size_requested,
+        num_batches_requested=num_batches,
+        update_mix=update_mix,
+        window=window,
         breakdown=agg_breakdown.scaled(1.0 / n),
         counters=agg_counters,
         delta_total=delta_total,
@@ -236,12 +419,7 @@ def run_stream(
         conflict_mode=getattr(system, "conflict_mode", None),
         num_devices=getattr(system, "num_devices", 1),
         partitioner=getattr(getattr(system, "partitioner", None), "name", None),
-        partitioner_opts=(
-            opts
-            if (opts := getattr(getattr(system, "partitioner", None),
-                                "options", dict)())
-            else None
-        ),
+        partitioner_opts=resolve_partitioner_opts(system),
         peer_bytes=peer_bytes,
         allreduce_ns=allreduce_ns,
         imbalance=float(np.mean(imbalances)) if imbalances else None,
@@ -279,6 +457,8 @@ def run_rulebook_stream(
     num_batches: int = 1,
     seed: int = 0,
     device: DeviceConfig | None = None,
+    update_mix: str = "mixed",
+    window: int | None = None,
     **engine_kwargs,
 ) -> RunResult:
     """Drive a :class:`~repro.core.multiquery.MultiQueryEngine` rulebook.
@@ -291,10 +471,12 @@ def run_rulebook_stream(
     from repro.core.multiquery import MultiBatchResult, MultiQueryEngine
     from repro.gpu.counters import Channel
 
-    g0, batches = build_workload(
-        dataset, batch_size=batch_size, num_batches=num_batches, seed=seed
+    workload = build_workload(
+        dataset, batch_size=batch_size, num_batches=num_batches, seed=seed,
+        update_mix=update_mix, window=window,
     )
-    batches = batches[:num_batches]
+    g0 = workload.graph
+    batches = workload.batches[:num_batches]
     engine = MultiQueryEngine(
         g0, queries, device=device, seed=seed, shared=shared, **engine_kwargs
     )
@@ -329,8 +511,12 @@ def run_rulebook_stream(
         system="GCSM-multi",
         dataset=dataset,
         query=f"rulebook[{len(queries)}]",
-        batch_size=batch_size or datasets.DATASETS[dataset].default_batch_size,
+        batch_size=float(np.mean([len(b) for b in batches])) if batches else 0.0,
         num_batches=len(batches),
+        batch_size_requested=workload.batch_size_requested,
+        num_batches_requested=num_batches,
+        update_mix=update_mix,
+        window=window,
         breakdown=agg_breakdown.scaled(1.0 / n),
         counters=agg_counters,
         delta_total=delta_total,

@@ -13,6 +13,9 @@ Commands
     Run several systems on the same workload and print a speedup summary.
 ``figure``
     Regenerate one of the paper's tables/figures (or ``all``).
+``matrix``
+    Expand and run a declarative scenario matrix (``repro.bench.matrix``),
+    persist its trajectory, and optionally gate it against a baseline.
 """
 
 from __future__ import annotations
@@ -183,6 +186,32 @@ def build_parser() -> argparse.ArgumentParser:
     srv_p.add_argument("--max-shed", type=float, default=None, metavar="F",
                        help="exit non-zero if any tenant's shed rate exceeds "
                             "F (scriptable SLO gate for CI)")
+
+    mtx_p = sub.add_parser(
+        "matrix",
+        help="run a declarative scenario matrix and gate it against a baseline",
+    )
+    mtx_p.add_argument("--spec", required=True, metavar="PATH",
+                       help="JSON scenario spec (see docs/experiments.md)")
+    mtx_p.add_argument("--filter", action="append", default=[],
+                       metavar="FACTOR=VALUE", dest="filters",
+                       help="restrict the run table to cells whose factor "
+                            "matches (repeatable); '-' matches unset, e.g. "
+                            "--filter devices=-")
+    mtx_p.add_argument("--sample", type=float, default=None, metavar="F",
+                       help="override the spec's deterministic sampling "
+                            "fraction (0 < F <= 1)")
+    mtx_p.add_argument("--list", action="store_true", dest="list_cells",
+                       help="print the expanded run table (and pruned cells) "
+                            "without executing")
+    mtx_p.add_argument("--out", metavar="PATH", default=None,
+                       help="persist the trajectory JSON (BENCH_matrix.json)")
+    mtx_p.add_argument("--baseline", metavar="PATH", default=None,
+                       help="diff the fresh trajectory against this committed "
+                            "baseline and exit non-zero on regression")
+    mtx_p.add_argument("--max-regress", type=float, default=20.0, metavar="PCT",
+                       help="tolerated relative growth of gated metrics "
+                            "(default: 20)")
 
     ver_p = sub.add_parser(
         "verify",
@@ -473,6 +502,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.bench import matrix
+
+    try:
+        spec = matrix.ScenarioSpec.from_json(args.spec)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"repro matrix: bad spec {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    filters: dict[str, str] = {}
+    for item in args.filters:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            print(f"bad --filter {item!r}: expected FACTOR=VALUE", file=sys.stderr)
+            return 2
+        filters[key] = value
+    try:
+        if args.list_cells:
+            cells, pruned = matrix.expand_cells(spec, sample=args.sample)
+            cells = matrix.filter_cells(cells, filters)
+            for cell in cells:
+                print(matrix.cell_id(cell))
+            for svc in spec.service:
+                if not filters:
+                    print(f"service: {svc}")
+            print(f"{len(cells)} cells to run, {len(pruned)} pruned:")
+            for cell, reason in pruned:
+                print(f"  pruned ({reason}): {matrix.cell_id(cell)}")
+            return 0
+        trajectory = matrix.run_matrix(
+            spec, filters=filters, sample=args.sample, progress=print
+        )
+    except ValueError as exc:
+        print(f"repro matrix: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"matrix {spec.name!r}: {trajectory['cells_run']} cells run, "
+          f"{len(trajectory['cells_pruned'])} pruned "
+          f"(git {trajectory['git_sha'] or 'unknown'})")
+    if args.out:
+        matrix.save_trajectory(trajectory, args.out)
+        print(f"trajectory written to {args.out}")
+    if args.baseline:
+        try:
+            baseline = matrix.load_trajectory(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro matrix: bad baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        report = matrix.compare_trajectories(
+            trajectory, baseline, max_regress_pct=args.max_regress
+        )
+        print(report.describe())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.validation import ConsistencyError, fuzz_verify, verify_stream
     from repro.graphs.stream import DEFAULT_CONFLICT_MODE
@@ -522,6 +607,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args.name)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "matrix":
+        return _cmd_matrix(args)
     if args.command == "verify":
         return _cmd_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -46,6 +46,7 @@ from repro.core.prefilter import (
     PrefilterStats,
     normalize_prefilter,
 )
+from repro.graphs.attributes import EdgeAttributeStore
 from repro.graphs.dynamic_graph import DynamicGraph
 from repro.graphs.static_graph import StaticGraph
 from repro.graphs.stream import CanonicalReport, DEFAULT_CONFLICT_MODE, UpdateBatch
@@ -235,6 +236,12 @@ class GCSMEngine:
         self.graph = DynamicGraph(initial_graph)
         self.query = query
         self.plans = compile_delta_plans(query)
+        #: explicit-weight overlay for predicate pushdown; None when the
+        #: query carries no predicates (the common, weightless case).  The
+        #: overlay only changes behavior once ``set_weight`` records an
+        #: override, so the pipelined engine's stage overlap stays safe on
+        #: plain streams (lookups reduce to the pure hash).
+        self.attributes = EdgeAttributeStore() if query.has_predicates() else None
         self.num_walks = num_walks
         self.adaptive_walks = adaptive_walks
         rng = as_generator(seed)
@@ -267,7 +274,12 @@ class GCSMEngine:
     # ------------------------------------------------------------------
     def _stage_update(self, batch: UpdateBatch) -> tuple[UpdateBatch, float]:
         """CPU stage 1: canonicalize ΔE and fold it into the store."""
-        return update_step(self.graph, batch, self.device, self.conflict_mode)
+        effective, ns = update_step(self.graph, batch, self.device, self.conflict_mode)
+        if self.attributes is not None:
+            # track override lifecycle against the effective batch (delete
+            # removal is deferred to close_batch so OLD reads stay correct)
+            self.attributes.apply_batch(effective)
+        return effective, ns
 
     def _stage_prefilter(
         self, batch: UpdateBatch
@@ -339,7 +351,8 @@ class GCSMEngine:
             self.device, match_counters, cache,
         )
         stats = match_batch(
-            self.plans, batch, view, prefilter=prefilter, executor=self.executor
+            self.plans, batch, view, prefilter=prefilter, executor=self.executor,
+            attributes=self.attributes,
         )
         ns = simulated_time_ns(match_counters, self.device, platform="gpu")
         return stats, match_counters, view, ns
@@ -350,6 +363,8 @@ class GCSMEngine:
         if self.prefilter_index is not None:
             # the batch is settled: OLD adjacency is gone, drop the overlay
             self.prefilter_index.close_batch()
+        if self.attributes is not None:
+            self.attributes.close_batch()
         return ns
 
     # ------------------------------------------------------------------

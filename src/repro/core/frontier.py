@@ -39,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.matching import MatchStats, _merge_runs
+from repro.graphs.attributes import edge_weights
 from repro.gpu.views import GraphView
 from repro.query.pattern import WILDCARD_LABEL
 from repro.query.plan import EdgeVersion, LevelPlan, MatchPlan
@@ -99,10 +100,14 @@ class FrontierKernel:
         labels: np.ndarray,
         filters: dict[int, np.ndarray] | None = None,
         pool: dict[tuple[int, bool], np.ndarray] | None = None,
+        attributes=None,
     ) -> None:
         self.view = view
         self.labels = labels
         self.filters = filters or {}
+        #: optional edge-weight provider for predicate pushdown; None falls
+        #: back to the deterministic hash weights
+        self.attributes = attributes
         # merged-array memo: one merged object per (vertex, version family).
         # ``pool`` may be shared across the plans of one batch — the graph is
         # frozen between apply_batch and reorganize, so merged contents are
@@ -240,10 +245,26 @@ class FrontierKernel:
             keep = self.labels[cand_flat] == lvl.label
         else:
             keep = np.ones(cand_flat.size, dtype=bool)
+        qrow = np.repeat(np.arange(n, dtype=np.int64), cand_cnt)
+        # predicate pushdown: mirrors the recursive executor — predicated
+        # constraints in plan order, each charging one weight probe per
+        # still-surviving candidate (the per-row sizes sum to exactly the
+        # recursive per-root charges)
+        for c in (c for c in cons if c.predicate is not None):
+            alive = np.flatnonzero(keep)
+            counters.record_compute(int(alive.size))
+            if alive.size == 0:
+                break
+            anchors = rows[qrow[alive], c.position]
+            if self.attributes is not None:
+                w = self.attributes.pair_weights(anchors, cand_flat[alive])
+            else:
+                w = edge_weights(anchors, cand_flat[alive])
+            lo, hi = c.predicate
+            keep[alive[~((w >= lo) & (w <= hi))]] = False
         # injectivity: a candidate must differ from every bound vertex of
         # its own row (sequential removal in the recursive executor — the
         # same set either way)
-        qrow = np.repeat(np.arange(n, dtype=np.int64), cand_cnt)
         keep &= (cand_flat[:, None] != rows[qrow]).all(axis=1)
         cand_flat = cand_flat[keep]
         cand_cnt = np.bincount(qrow[keep], minlength=n)
@@ -266,8 +287,9 @@ class FrontierExecutor(FrontierKernel):
         sink,
         filters: dict[int, np.ndarray] | None = None,
         pool: dict[tuple[int, bool], np.ndarray] | None = None,
+        attributes=None,
     ) -> None:
-        super().__init__(view, labels, filters, pool)
+        super().__init__(view, labels, filters, pool, attributes)
         self.plan = plan
         self.sink = sink
         self.stats = MatchStats()

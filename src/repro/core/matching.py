@@ -41,6 +41,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.graphs.attributes import edge_weights
 from repro.graphs.stream import UpdateBatch
 from repro.gpu.views import GraphView
 from repro.query.pattern import WILDCARD_LABEL
@@ -53,6 +54,7 @@ __all__ = [
     "match_static",
     "delta_roots",
     "static_roots",
+    "filter_root_predicate",
     "EXECUTORS",
     "DEFAULT_EXECUTOR",
 ]
@@ -123,6 +125,7 @@ class _PlanExecutor:
         labels: np.ndarray,
         sink: EmbeddingSink | None,
         filters: dict[int, np.ndarray] | None = None,
+        attributes=None,
     ) -> None:
         self.plan = plan
         self.view = view
@@ -131,6 +134,14 @@ class _PlanExecutor:
         #: optional per-query-vertex candidate sets (sorted arrays); used by
         #: the RapidFlow baseline's candidate-index pruning
         self.filters = filters or {}
+        #: optional edge-weight provider for predicate pushdown (an
+        #: ``EdgeAttributeStore``); None falls back to the hash default
+        self.attributes = attributes
+        #: per-level predicated constraints, in plan constraint order
+        self._preds = [
+            tuple(c for c in lvl.constraints if c.predicate is not None)
+            for lvl in plan.levels
+        ]
         self.stats = MatchStats()
         # merged-array memo: the kernel re-reads lists (recorded by the view)
         # but we keep one merged Python object per (vertex, version family)
@@ -187,6 +198,20 @@ class _PlanExecutor:
             cand = _intersect(cand, cand_filter)
         elif lvl.label != WILDCARD_LABEL:
             cand = cand[self.labels[cand] == lvl.label]
+        # predicate pushdown: one weight probe per surviving candidate, one
+        # predicated constraint at a time (plan constraint order) — the
+        # frontier executor reproduces these charges as per-level sums
+        for c in self._preds[level_index]:
+            if cand.size == 0:
+                break
+            counters.record_compute(cand.size)
+            anchor = int(self._bound[c.position])
+            if self.attributes is not None:
+                w = self.attributes.pair_weights(anchor, cand)
+            else:
+                w = edge_weights(anchor, cand)
+            lo, hi = c.predicate
+            cand = cand[(w >= lo) & (w <= hi)]
         for i in range(bound_count):  # injectivity
             if cand.size == 0:
                 break
@@ -272,6 +297,30 @@ def static_roots(
     return directed, np.ones(directed.shape[0], dtype=np.int64)
 
 
+def filter_root_predicate(
+    plan: MatchPlan,
+    roots: np.ndarray,
+    signs: np.ndarray,
+    attributes=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop roots whose data-edge weight violates the plan's root predicate.
+
+    Uncharged, like the label filtering of :func:`delta_roots` (root
+    generation is modeled as free stream-side work).  Applied *after* any
+    precomputed prefilter masks — those are aligned with the raw
+    ``delta_roots`` output and must see it unshrunk.
+    """
+    if plan.root_predicate is None or roots.shape[0] == 0:
+        return roots, signs
+    if attributes is not None:
+        w = attributes.pair_weights(roots[:, 0], roots[:, 1])
+    else:
+        w = edge_weights(roots[:, 0], roots[:, 1])
+    lo, hi = plan.root_predicate
+    keep = (w >= lo) & (w <= hi)
+    return roots[keep], signs[keep]
+
+
 # ----------------------------------------------------------------------
 # public entry points
 # ----------------------------------------------------------------------
@@ -285,6 +334,7 @@ def _run_plan(
     signs: np.ndarray,
     executor: str,
     pool: dict | None = None,
+    attributes=None,
 ) -> MatchStats:
     """Execute one plan over its roots with the selected executor.
 
@@ -296,11 +346,11 @@ def _run_plan(
     if executor == "frontier":
         from repro.core.frontier import FrontierExecutor
 
-        return FrontierExecutor(plan, view, labels, sink, filters, pool=pool).run(
-            roots, signs
-        )
+        return FrontierExecutor(
+            plan, view, labels, sink, filters, pool=pool, attributes=attributes
+        ).run(roots, signs)
     if executor == "recursive":
-        ex = _PlanExecutor(plan, view, labels, sink, filters)
+        ex = _PlanExecutor(plan, view, labels, sink, filters, attributes)
         for (x_a, x_b), sign in zip(roots.tolist(), signs.tolist()):
             ex.run_root(int(x_a), int(x_b), int(sign))
         return ex.stats
@@ -317,6 +367,7 @@ def match_batch(
     root_mask: Callable[[np.ndarray], np.ndarray] | None = None,
     prefilter=None,
     executor: str = DEFAULT_EXECUTOR,
+    attributes=None,
 ) -> MatchStats:
     """Run all ΔM_i plans against a signed batch (paper Fig. 2b-f).
 
@@ -338,6 +389,11 @@ def match_batch(
     exactness is certified (only provably-ΔM=0 roots are dropped).
     ``executor`` picks the batched frontier executor (default) or the
     recursive reference; both produce bit-identical stats and counters.
+    ``attributes`` optionally supplies an edge-weight provider
+    (:class:`~repro.graphs.attributes.EdgeAttributeStore`) for plans whose
+    query carries weight predicates; without one the deterministic hash
+    weights are used.  Root-predicate filtering runs after the prefilter
+    (whose precomputed masks are aligned with the raw root array).
     """
     labels = view.graph.labels
     total = MatchStats()
@@ -363,8 +419,10 @@ def match_batch(
             keep = prefilter.mask(plan_index, plan, roots)
             total.roots_skipped += int(roots.shape[0] - np.count_nonzero(keep))
             roots, signs = roots[keep], signs[keep]
+        roots, signs = filter_root_predicate(plan, roots, signs, attributes)
         total.merge(
-            _run_plan(plan, view, labels, sink, filters, roots, signs, executor, pool)
+            _run_plan(plan, view, labels, sink, filters, roots, signs, executor,
+                      pool, attributes)
         )
     return total
 
@@ -375,6 +433,7 @@ def match_static(
     *,
     sink: EmbeddingSink | None = None,
     executor: str = DEFAULT_EXECUTOR,
+    attributes=None,
 ) -> MatchStats:
     """Match the query on the current snapshot (paper Fig. 2a).
 
@@ -386,4 +445,6 @@ def match_static(
     labels = view.graph.labels
     edge_array = view.graph.edges_new_array()
     roots, signs = static_roots(plan, edge_array, labels)
-    return _run_plan(plan, view, labels, sink, None, roots, signs, executor)
+    roots, signs = filter_root_predicate(plan, roots, signs, attributes)
+    return _run_plan(plan, view, labels, sink, None, roots, signs, executor,
+                     attributes=attributes)

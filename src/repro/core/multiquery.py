@@ -214,7 +214,12 @@ class MultiQueryEngine:
         self._alias_iso: dict[str, tuple[int, ...]] = {}
         by_form: dict[tuple, QueryGraph] = {}
         for q in self.queries:
-            form = canonical_form(q)
+            # predicated queries stay their own representatives: the
+            # canonical form (and find_isomorphism) is predicate-blind, so
+            # an alias remap could move a predicate onto the wrong edge.
+            # Structural trie sharing still applies — plan signatures carry
+            # the predicates and only share genuinely identical prefixes.
+            form = ("__predicated__", q.name) if q.has_predicates() else canonical_form(q)
             rep = by_form.get(form)
             if rep is None:
                 by_form[form] = q

@@ -58,7 +58,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.frontier import FrontierKernel
-from repro.core.matching import MatchStats, delta_roots
+from repro.core.matching import MatchStats, delta_roots, filter_root_predicate
 from repro.gpu.counters import AccessCounters
 from repro.query.plan import LevelPlan, MatchPlan, level_signature, root_signature
 
@@ -317,6 +317,11 @@ class SharedTrieExecutor:
                 if dropped:
                     roots, signs = roots[keep], signs[keep]
                     n -= dropped
+            # root-predicate pushdown: the root signature includes the
+            # predicate, so every member of this group shares it; applied
+            # after the prefilter masks (which align with raw delta_roots)
+            roots, signs = filter_root_predicate(live[0].plan, roots, signs)
+            n = int(roots.shape[0])
             for ref in live:
                 st = self.stats[ref.query_name]
                 st.roots_processed += n

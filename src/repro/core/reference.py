@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graphs.attributes import edge_weight
 from repro.graphs.static_graph import StaticGraph
 from repro.query.pattern import WILDCARD_LABEL, QueryGraph
 
@@ -25,6 +26,25 @@ __all__ = ["count_embeddings", "find_embeddings"]
 def _label_ok(query: QueryGraph, u: int, data_label: int) -> bool:
     ql = query.label(u)
     return ql == WILDCARD_LABEL or ql == data_label
+
+
+def _predicate_ok(
+    query: QueryGraph, assignment: dict[int, int], u: int, v: int, attributes
+) -> bool:
+    """Check every predicated query edge (u, w) with w already assigned.
+
+    Each query edge is validated exactly once per embedding: when its later
+    endpoint (in the matching order) is bound.
+    """
+    for w in query.neighbors(u):
+        if w in assignment:
+            bounds = query.edge_predicate(u, w)
+            if bounds is not None:
+                wt = (attributes.weight(assignment[w], v) if attributes is not None
+                      else edge_weight(assignment[w], v))
+                if not (bounds[0] <= wt <= bounds[1]):
+                    return False
+    return True
 
 
 def _order_by_connectivity(query: QueryGraph) -> list[int]:
@@ -44,12 +64,16 @@ def _order_by_connectivity(query: QueryGraph) -> list[int]:
 
 
 def find_embeddings(
-    graph: StaticGraph, query: QueryGraph, *, limit: int | None = None
+    graph: StaticGraph, query: QueryGraph, *, limit: int | None = None,
+    attributes=None,
 ) -> list[tuple[int, ...]]:
     """Enumerate embeddings as tuples indexed by query vertex.
 
     ``limit`` caps the number returned (handy for existence checks).
+    ``attributes`` optionally overrides the hash edge weights used for the
+    query's weight predicates.
     """
+    check_preds = query.has_predicates()
     order = _order_by_connectivity(query)
     n = query.num_vertices
     assignment: dict[int, int] = {}
@@ -75,6 +99,8 @@ def find_embeddings(
                 continue
             if not _label_ok(query, u, graph.label(v)):
                 continue
+            if check_preds and not _predicate_ok(query, assignment, u, v, attributes):
+                continue
             assignment[u] = v
             used.add(v)
             if backtrack(depth + 1):
@@ -87,8 +113,9 @@ def find_embeddings(
     return out
 
 
-def count_embeddings(graph: StaticGraph, query: QueryGraph) -> int:
+def count_embeddings(graph: StaticGraph, query: QueryGraph, *, attributes=None) -> int:
     """Number of embeddings of ``query`` in ``graph``."""
+    check_preds = query.has_predicates()
     order = _order_by_connectivity(query)
     n = query.num_vertices
     assignment: dict[int, int] = {}
@@ -111,6 +138,8 @@ def count_embeddings(graph: StaticGraph, query: QueryGraph) -> int:
             if v in used:
                 continue
             if not _label_ok(query, u, graph.label(v)):
+                continue
+            if check_preds and not _predicate_ok(query, assignment, u, v, attributes):
                 continue
             assignment[u] = v
             used.add(v)

@@ -27,7 +27,7 @@ class ExperimentRecord:
     system: str
     dataset: str
     query: str
-    batch_size: int
+    batch_size: float  # actual mean updates per driven batch
     num_batches: int
     total_ns: float
     match_ns: float
@@ -41,6 +41,12 @@ class ExperimentRecord:
     cache_hit_rate: float | None = None
     coverage_top1: float | None = None
     coverage_top5: float | None = None
+    #: requested sizing / workload axes (None keeps older JSON loadable);
+    #: ``batch_size`` is the *actual* mean once these are present
+    batch_size_requested: int | None = None
+    num_batches_requested: int | None = None
+    update_mix: str | None = None
+    window: int | None = None
     #: FE sampler the system was configured with (None for pre-PR-4 JSON)
     estimator: str | None = None
     #: update-conflict policy the system ran with (None for older JSON)
@@ -89,6 +95,10 @@ class ExperimentRecord:
             cache_hit_rate=run.cache_hit_rate,
             coverage_top1=run.coverage_top1,
             coverage_top5=run.coverage_top5,
+            batch_size_requested=getattr(run, "batch_size_requested", None),
+            num_batches_requested=getattr(run, "num_batches_requested", None),
+            update_mix=getattr(run, "update_mix", None),
+            window=getattr(run, "window", None),
             estimator=getattr(run, "estimator", None),
             conflict_mode=getattr(run, "conflict_mode", None),
             num_devices=getattr(run, "num_devices", 1),
@@ -127,6 +137,10 @@ class ExperimentRecord:
             "cache_hit_rate": self.cache_hit_rate,
             "coverage_top1": self.coverage_top1,
             "coverage_top5": self.coverage_top5,
+            "batch_size_requested": self.batch_size_requested,
+            "num_batches_requested": self.num_batches_requested,
+            "update_mix": self.update_mix,
+            "window": self.window,
             "estimator": self.estimator,
             "conflict_mode": self.conflict_mode,
             "num_devices": self.num_devices,

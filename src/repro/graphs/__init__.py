@@ -10,8 +10,11 @@ from repro.graphs.stream import (
     CanonicalReport,
     EdgeUpdate,
     UpdateBatch,
+    churn_stream,
     derive_stream,
 )
+from repro.graphs.attributes import EdgeAttributeStore, edge_weight, edge_weights
+from repro.graphs.window import WindowReport, apply_window
 from repro.graphs import generators, datasets
 
 __all__ = [
@@ -24,6 +27,12 @@ __all__ = [
     "CONFLICT_MODES",
     "DEFAULT_CONFLICT_MODE",
     "derive_stream",
+    "churn_stream",
+    "EdgeAttributeStore",
+    "edge_weight",
+    "edge_weights",
+    "apply_window",
+    "WindowReport",
     "generators",
     "datasets",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "derive_stream",
     "derive_localized_stream",
     "insert_only_stream",
+    "churn_stream",
 ]
 
 #: sign conventions for update operations
@@ -426,4 +427,50 @@ def insert_only_stream(
                     signs[s : min(s + batch_size, num_updates)])
         for s in range(0, num_updates, batch_size)
     ]
+    return initial, batches
+
+
+def churn_stream(
+    graph: StaticGraph,
+    *,
+    num_updates: int,
+    batch_size: int,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[StaticGraph, list[UpdateBatch]]:
+    """Flapping stream: every batch deletes the previous batch's inserts.
+
+    Models short-lived edges (session links, retractions): batch 0 inserts a
+    chunk of fresh edges; each later batch first deletes the previous
+    chunk's inserts and then inserts the next chunk, so the live delta set
+    stays bounded while update volume keeps flowing.  Total updates come to
+    roughly ``num_updates`` (``2·chunks − 1`` chunk-sized half-batches).
+    Every delete targets a present edge and no edge repeats within a batch,
+    so the stream is conflict-free under every mode, ``strict`` included.
+    """
+    rng = as_generator(seed)
+    all_edges = graph.edge_array()
+    m = all_edges.shape[0]
+    require(num_updates >= 1, "need at least one update")
+    chunk = max(1, batch_size // 2)
+    # f fresh edges produce f + (f - last_chunk) ≈ 2f - chunk total updates
+    fresh = min(m, max(chunk, (int(num_updates) + chunk) // 2))
+    chosen = rng.choice(m, size=fresh, replace=False)
+    chosen_edges = all_edges[chosen]
+    initial = graph.without_edges(chosen_edges)
+
+    batches: list[UpdateBatch] = []
+    prev: np.ndarray | None = None
+    for start in range(0, fresh, chunk):
+        cur = chosen_edges[start : min(start + chunk, fresh)]
+        if prev is None:
+            edges = cur
+            signs = np.full(cur.shape[0], INSERT, dtype=np.int64)
+        else:
+            edges = np.concatenate([prev, cur], axis=0)
+            signs = np.concatenate([
+                np.full(prev.shape[0], DELETE, dtype=np.int64),
+                np.full(cur.shape[0], INSERT, dtype=np.int64),
+            ])
+        batches.append(UpdateBatch(edges, signs))
+        prev = cur
     return initial, batches

@@ -43,9 +43,14 @@ class QueryGraph:
         Per-vertex labels; ``None`` means all-wildcard (an unlabeled motif).
     name:
         Optional display name (``"Q1"``, ``"triangle"``, ...).
+    edge_predicates:
+        Optional mapping ``(u, v) -> (lo, hi)`` constraining the data-edge
+        weight (:mod:`repro.graphs.attributes`) an edge may bind to, as a
+        closed interval.  Edges without a predicate are unconstrained.
     """
 
-    __slots__ = ("num_vertices", "edges", "labels", "name", "_adj", "_edge_index")
+    __slots__ = ("num_vertices", "edges", "labels", "name", "_adj", "_edge_index",
+                 "edge_predicates", "_pred_by_index")
 
     def __init__(
         self,
@@ -53,6 +58,7 @@ class QueryGraph:
         edges: Iterable[tuple[int, int]],
         labels: Sequence[int] | None = None,
         name: str = "query",
+        edge_predicates: "dict[tuple[int, int], tuple[float, float]] | None" = None,
     ) -> None:
         require(num_vertices >= 2, "pattern needs at least 2 vertices")
         canon: list[tuple[int, int]] = []
@@ -77,6 +83,16 @@ class QueryGraph:
             self._adj[v].add(u)
         self._edge_index = {e: i for i, e in enumerate(self.edges)}
         require(self._is_connected(), "pattern must be connected")
+        preds: dict[int, tuple[float, float]] = {}
+        for (u, v), bounds in (edge_predicates or {}).items():
+            lo_w, hi_w = float(bounds[0]), float(bounds[1])
+            require(lo_w <= hi_w, f"empty predicate interval on edge ({u}, {v})")
+            preds[self.edge_index(u, v)] = (lo_w, hi_w)
+        #: sorted ``(edge_index, (lo, hi))`` pairs — hashable identity
+        self.edge_predicates: tuple[tuple[int, tuple[float, float]], ...] = tuple(
+            sorted(preds.items())
+        )
+        self._pred_by_index = preds
 
     # ------------------------------------------------------------------
     @property
@@ -113,9 +129,34 @@ class QueryGraph:
     def is_labeled(self) -> bool:
         return any(l != WILDCARD_LABEL for l in self.labels)
 
+    def has_predicates(self) -> bool:
+        """True if any query edge carries a weight predicate."""
+        return bool(self.edge_predicates)
+
+    def edge_predicate(self, u: int, v: int) -> tuple[float, float] | None:
+        """Weight interval of undirected edge ``(u, v)``, or None."""
+        return self._pred_by_index.get(self.edge_index(u, v))
+
+    def predicate_for_index(self, j: int) -> tuple[float, float] | None:
+        """Weight interval of the query edge with global index ``j``."""
+        return self._pred_by_index.get(j)
+
     def relabeled(self, labels: Sequence[int], name: str | None = None) -> "QueryGraph":
         """Copy with new vertex labels (used to specialize motifs)."""
-        return QueryGraph(self.num_vertices, self.edges, labels, name or self.name)
+        return QueryGraph(self.num_vertices, self.edges, labels, name or self.name,
+                          edge_predicates=self._predicates_by_edge())
+
+    def with_edge_predicates(
+        self,
+        edge_predicates: "dict[tuple[int, int], tuple[float, float]] | None",
+        name: str | None = None,
+    ) -> "QueryGraph":
+        """Copy with the given edge-weight predicates (replacing any)."""
+        return QueryGraph(self.num_vertices, self.edges, self.labels,
+                          name or self.name, edge_predicates=edge_predicates)
+
+    def _predicates_by_edge(self) -> dict[tuple[int, int], tuple[float, float]]:
+        return {self.edges[j]: bounds for j, bounds in self.edge_predicates}
 
     # ------------------------------------------------------------------
     def to_networkx(self) -> nx.Graph:
@@ -155,11 +196,14 @@ class QueryGraph:
             self.num_vertices == other.num_vertices
             and self.edges == other.edges
             and self.labels == other.labels
+            and self.edge_predicates == other.edge_predicates
         )
 
     def __hash__(self) -> int:
-        return hash((self.num_vertices, self.edges, self.labels))
+        return hash((self.num_vertices, self.edges, self.labels, self.edge_predicates))
 
     def __repr__(self) -> str:
         lab = "labeled" if self.is_labeled() else "wildcard"
-        return f"QueryGraph({self.name}, n={self.num_vertices}, m={self.num_edges}, {lab})"
+        pred = ", predicated" if self.has_predicates() else ""
+        return (f"QueryGraph({self.name}, n={self.num_vertices}, "
+                f"m={self.num_edges}, {lab}{pred})")

@@ -64,11 +64,15 @@ class Constraint:
     must appear in the (versioned) neighbor list of the data vertex bound at
     that position.  ``edge_index`` records which query edge this constraint
     realizes (provenance for the old/new versioning and for tests).
+    ``predicate`` carries the query edge's weight interval, if any: the
+    executors keep only candidates whose edge weight to the anchor falls in
+    the closed ``(lo, hi)`` interval (predicate pushdown).
     """
 
     position: int
     version: EdgeVersion
     edge_index: int
+    predicate: tuple[float, float] | None = None
 
 
 @dataclass(frozen=True)
@@ -99,6 +103,9 @@ class MatchPlan:
     root_edge_index: int
     levels: tuple[LevelPlan, ...]
     delta_index: int | None = None
+    #: weight interval the root data edge must satisfy (predicate pushdown
+    #: into root generation); None when the root query edge is unconstrained
+    root_predicate: tuple[float, float] | None = None
 
     @property
     def is_delta(self) -> bool:
@@ -152,21 +159,30 @@ def level_signature(level: LevelPlan) -> tuple:
     ``(label, ((position, version), ...))`` — everything the frontier
     executor's candidate expansion reads.  ``query_vertex`` and constraint
     ``edge_index`` are deliberately excluded: they are provenance, not
-    behavior.
+    behavior.  Weight predicates *are* behavior, so a level carrying any
+    appends its per-constraint intervals; predicate-free levels keep the
+    historical two-tuple shape (signature stability across releases).
     """
-    return (
+    sig = (
         level.label,
         tuple((c.position, c.version.value) for c in level.constraints),
     )
+    if any(c.predicate is not None for c in level.constraints):
+        sig = sig + (tuple(c.predicate for c in level.constraints),)
+    return sig
 
 
 def root_signature(plan: MatchPlan) -> tuple:
     """Execution identity of a plan's root-edge iteration.
 
     Delta roots are the directed batch updates filtered by the two root
-    endpoint labels, so plans with equal root signatures iterate identical
-    ``(roots, signs)`` arrays for any batch.
+    endpoint labels (and the root edge's weight predicate, when present),
+    so plans with equal root signatures iterate identical ``(roots,
+    signs)`` arrays for any batch.  Predicate-free plans keep the
+    historical label-pair shape.
     """
+    if plan.root_predicate is not None:
+        return plan.root_labels() + (plan.root_predicate,)
     return plan.root_labels()
 
 
@@ -221,7 +237,10 @@ def _build_levels(
         for w in sorted(query.neighbors(u), key=lambda w: position[w]):
             if position[w] < p:
                 j = query.edge_index(u, w)
-                constraints.append(Constraint(position[w], version_of_edge(j), j))
+                constraints.append(Constraint(
+                    position[w], version_of_edge(j), j,
+                    query.predicate_for_index(j),
+                ))
         levels.append(LevelPlan(u, query.label(u), tuple(constraints)))
     return tuple(levels)
 
@@ -257,6 +276,7 @@ def compile_static_plan(query: QueryGraph, root_edge: tuple[int, int] | None = N
         root_edge_index=query.edge_index(u_a, u_b),
         levels=levels,
         delta_index=None,
+        root_predicate=query.predicate_for_index(query.edge_index(u_a, u_b)),
     )
 
 
@@ -285,6 +305,7 @@ def compile_delta_plans(query: QueryGraph) -> list[MatchPlan]:
                 root_edge_index=i,
                 levels=levels,
                 delta_index=i,
+                root_predicate=query.predicate_for_index(i),
             )
         )
     return plans

@@ -1,0 +1,165 @@
+"""Edge weights/attributes and predicate-pushdown matching."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import count_embeddings
+from repro.core.validation import verify_stream
+from repro.graphs import DynamicGraph, EdgeAttributeStore, UpdateBatch, edge_weight, edge_weights
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.stream import derive_stream
+from repro.query import QueryGraph
+
+TRIANGLE = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+PRED_TRIANGLE = TRIANGLE.with_edge_predicates(
+    {(0, 1): (0.0, 0.6), (1, 2): (0.25, 1.0)}, name="triangle~w"
+)
+
+
+def small_case(seed=1):
+    g = erdos_renyi(40, 5.0, num_labels=2, seed=seed)
+    return derive_stream(g, update_fraction=0.3, batch_size=12, seed=seed)
+
+
+class TestHashWeights:
+    def test_deterministic_and_orientation_free(self):
+        assert edge_weight(3, 17) == edge_weight(3, 17)
+        assert edge_weight(3, 17) == edge_weight(17, 3)
+
+    def test_range_and_spread(self):
+        us = np.arange(1000)
+        ws = edge_weights(us, us + 1)
+        assert np.all((ws >= 0.0) & (ws < 1.0))
+        # avalanche-mixed: near-uniform over [0, 1) even on adjacent ids
+        assert 0.4 < ws.mean() < 0.6
+        assert len(np.unique(ws)) == 1000
+
+    def test_vector_matches_scalar(self):
+        us = np.array([0, 5, 9])
+        vs = np.array([1, 2, 7])
+        ws = edge_weights(us, vs)
+        for i in range(3):
+            assert ws[i] == edge_weight(int(us[i]), int(vs[i]))
+
+    def test_broadcasts_scalar_anchor(self):
+        cand = np.array([1, 2, 3])
+        ws = edge_weights(7, cand)
+        assert ws.shape == (3,)
+        assert ws[1] == edge_weight(7, 2)
+
+
+class TestEdgeAttributeStore:
+    def test_falls_through_to_hash(self):
+        store = EdgeAttributeStore()
+        assert store.weight(2, 9) == edge_weight(2, 9)
+        assert np.array_equal(
+            store.pair_weights([2], [9]), edge_weights([2], [9])
+        )
+
+    def test_override_and_orientation(self):
+        store = EdgeAttributeStore()
+        store.set_weight(4, 1, 0.125)
+        assert store.weight(1, 4) == 0.125
+        assert store.pair_weights([4], [1])[0] == 0.125
+        store.clear_weight(1, 4)
+        assert store.weight(4, 1) == edge_weight(4, 1)
+
+    def test_insert_records_delete_deferred(self):
+        """Deleted overrides survive until close_batch (OLD-read epoch)."""
+        store = EdgeAttributeStore()
+        ins = UpdateBatch([(0, 1)], [+1])
+        store.apply_batch(ins, weights=np.array([0.75]))
+        assert store.weight(0, 1) == 0.75
+        store.close_batch()
+        dele = UpdateBatch([(0, 1)], [-1])
+        store.apply_batch(dele)
+        # open batch: OLD reads still see the explicit weight
+        assert store.weight(0, 1) == 0.75
+        store.close_batch()
+        assert store.weight(0, 1) == edge_weight(0, 1)
+        assert store.num_overrides == 0
+
+    def test_reinsert_cancels_pending_removal(self):
+        store = EdgeAttributeStore({(0, 1): 0.4})
+        store.apply_batch(UpdateBatch([(0, 1), (0, 1)], [-1, +1]))
+        store.close_batch()
+        assert store.weight(0, 1) == 0.4
+
+
+class TestPredicatePushdown:
+    def test_executors_agree_with_oracle(self):
+        """Both executors x both estimators, predicated query, oracle on."""
+        g0, batches = small_case(seed=3)
+        for executor in ("frontier", "recursive"):
+            for estimator in ("frontier", "recursive"):
+                report = verify_stream(
+                    ["GCSM", "ZC"], g0, PRED_TRIANGLE, batches[:3],
+                    against_oracle=True,
+                    system_kwargs={"executor": executor, "estimator": estimator},
+                )
+                assert report.oracle_checked
+
+    def test_predicates_restrict_counts(self):
+        g = erdos_renyi(40, 6.0, num_labels=1, seed=5)
+        full = count_embeddings(g, TRIANGLE)
+        pred = count_embeddings(g, PRED_TRIANGLE)
+        assert 0 < pred < full
+
+    def test_full_range_predicate_matches_unpredicated(self):
+        """[0, 1] bounds accept every weight: same embeddings, same delta."""
+        g0, batches = small_case(seed=7)
+        permissive = TRIANGLE.with_edge_predicates(
+            {e: (0.0, 1.0) for e in TRIANGLE.edges}, name="triangle~all"
+        )
+        plain = verify_stream(["GCSM"], g0, TRIANGLE, batches[:2])
+        loose = verify_stream(["GCSM"], g0, permissive, batches[:2])
+        assert plain.delta_per_batch == loose.delta_per_batch
+
+    def test_oracle_respects_store_overrides(self):
+        g = erdos_renyi(30, 5.0, num_labels=1, seed=2)
+        q = TRIANGLE.with_edge_predicates(
+            {e: (0.0, 0.5) for e in TRIANGLE.edges}, name="t~half"
+        )
+        base = count_embeddings(g, q)
+        # force one data edge's weight out of range: count can only shrink
+        u, v = (int(x) for x in g.edge_array()[0])
+        store = EdgeAttributeStore({(u, v): 0.99})
+        assert count_embeddings(g, q, attributes=store) <= base
+
+    def test_dynamic_engine_matches_recount(self):
+        """Signed delta accumulates to a from-scratch final recount."""
+        from repro.core.baselines import make_system
+
+        g0, batches = small_case(seed=11)
+        system = make_system("GCSM", g0, PRED_TRIANGLE, seed=0)
+        delta = sum(system.process_batch(b).delta_count for b in batches[:3])
+        store = DynamicGraph(g0)
+        for b in batches[:3]:
+            store.apply_batch(b)
+            store.reorganize()
+        final = store.snapshot()
+        assert count_embeddings(g0, PRED_TRIANGLE) + delta == count_embeddings(
+            final, PRED_TRIANGLE
+        )
+
+
+class TestQueryGraphPredicates:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TRIANGLE.with_edge_predicates({(0, 1): (0.9, 0.1)})
+        with pytest.raises(KeyError):
+            TRIANGLE.with_edge_predicates({(1, 9): (0.0, 1.0)})
+
+    def test_identity_includes_predicates(self):
+        assert PRED_TRIANGLE != TRIANGLE
+        assert hash(PRED_TRIANGLE) != hash(TRIANGLE)
+        again = TRIANGLE.with_edge_predicates(
+            {(0, 1): (0.0, 0.6), (1, 2): (0.25, 1.0)}, name="triangle~w"
+        )
+        assert PRED_TRIANGLE == again
+
+    def test_lookup_helpers(self):
+        assert PRED_TRIANGLE.has_predicates()
+        assert not TRIANGLE.has_predicates()
+        assert PRED_TRIANGLE.edge_predicate(1, 0) == (0.0, 0.6)
+        assert PRED_TRIANGLE.edge_predicate(0, 2) is None

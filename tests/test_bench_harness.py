@@ -1,9 +1,19 @@
 """Tests for the experiment harness (workload memoization, aggregation)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.bench.harness import RunResult, build_workload, clear_caches, print_table, run_stream
+from repro.bench.harness import (
+    RunResult,
+    Workload,
+    build_workload,
+    clear_caches,
+    print_table,
+    resolve_partitioner_opts,
+    run_stream,
+)
 from repro.query import query_by_name
 
 
@@ -44,6 +54,177 @@ class TestBuildWorkload:
         g0b, _ = build_workload("AZ", batch_size=32, seed=0)
         assert g0a is not g0b
         assert g0a == g0b  # deterministic rebuild
+
+
+class TestWorkloadTruncation:
+    """The silent-truncation bugfix: requests beyond num_edges // 2 must be
+    surfaced, not quietly shrunk."""
+
+    def test_truncation_warns_and_is_reported(self):
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            wl = build_workload("AZ", batch_size=10_000, num_batches=50, seed=0)
+        assert isinstance(wl, Workload)
+        assert wl.truncated
+        assert wl.updates_delivered < wl.updates_requested
+        assert wl.batch_size_requested == 10_000
+        assert wl.num_batches_requested == 50
+        assert wl.num_batches_delivered < 50
+        assert "truncated" in wl.describe()
+
+    def test_warns_on_cache_hits_too(self):
+        with pytest.warns(RuntimeWarning):
+            build_workload("AZ", batch_size=10_000, num_batches=50, seed=0)
+        with pytest.warns(RuntimeWarning):  # memoized second call still warns
+            build_workload("AZ", batch_size=10_000, num_batches=50, seed=0)
+
+    def test_satisfiable_request_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            wl = build_workload("AZ", batch_size=32, num_batches=2, seed=0)
+        assert not wl.truncated
+        assert wl.updates_delivered == 64
+
+    def test_run_result_records_requested_vs_actual(self):
+        with pytest.warns(RuntimeWarning):
+            r = run_stream("ZC", "AZ", query_by_name("Q1"),
+                           batch_size=10_000, num_batches=50, seed=0)
+        assert r.batch_size_requested == 10_000
+        assert r.num_batches_requested == 50
+        assert r.num_batches < 50
+        # batch_size is the *actual* mean over driven batches
+        assert 0 < r.batch_size <= 10_000
+
+
+class TestSizeValidation:
+    """``batch_size=0`` must be an error, not 'use the dataset default'."""
+
+    def test_zero_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            build_workload("AZ", batch_size=0, seed=0)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            build_workload("AZ", batch_size=-8, seed=0)
+        with pytest.raises(ValueError, match="num_batches"):
+            build_workload("AZ", batch_size=32, num_batches=0, seed=0)
+        with pytest.raises(ValueError, match="window"):
+            build_workload("AZ", batch_size=32, window=0, seed=0)
+
+    def test_none_still_means_dataset_default(self):
+        wl = build_workload("AZ", batch_size=None, seed=0)
+        assert wl.batch_size_requested == 512  # AZ default
+
+    def test_bad_update_mix_rejected(self):
+        with pytest.raises(ValueError, match="update_mix"):
+            build_workload("AZ", batch_size=32, update_mix="chaotic", seed=0)
+
+
+class TestResolvePartitionerOpts:
+    """Options may be a zero-arg callable OR a mapping attribute; ``{}``
+    (configured, no overrides) must stay distinct from ``None``."""
+
+    class _System:
+        def __init__(self, partitioner):
+            self.partitioner = partitioner
+
+    class _Holder:
+        pass
+
+    def test_no_partitioner(self):
+        assert resolve_partitioner_opts(self._System(None)) is None
+
+    def test_callable_options(self):
+        p = self._Holder()
+        p.options = lambda: {"balance_slack": 0.15}
+        assert resolve_partitioner_opts(self._System(p)) == {"balance_slack": 0.15}
+
+    def test_mapping_attribute_options(self):
+        p = self._Holder()
+        p.options = {"refine_passes": 3}
+        assert resolve_partitioner_opts(self._System(p)) == {"refine_passes": 3}
+
+    def test_empty_dict_preserved(self):
+        p = self._Holder()
+        p.options = {}
+        opts = resolve_partitioner_opts(self._System(p))
+        assert opts == {} and opts is not None
+
+    def test_no_options_surface(self):
+        assert resolve_partitioner_opts(self._System(self._Holder())) is None
+
+    def test_returns_a_copy(self):
+        p = self._Holder()
+        p.options = {"k": 1}
+        out = resolve_partitioner_opts(self._System(p))
+        out["k"] = 2
+        assert p.options == {"k": 1}
+
+    def test_end_to_end_through_run_stream(self):
+        from repro.gpu.device import ClusterConfig
+
+        r = run_stream(
+            "GCSM", "AZ", query_by_name("Q1"), batch_size=32, seed=0,
+            devices=ClusterConfig(num_devices=2), partitioner="mincut",
+            partitioner_opts={"refine_passes": 2},
+        )
+        assert r.partitioner == "mincut"
+        assert r.partitioner_opts is not None
+        assert r.partitioner_opts.get("refine_passes") == 2
+
+
+class TestStreamCacheAliasing:
+    """Engines consume memoized batches; a second system run over the same
+    cached stream must be byte-identical to its first run."""
+
+    def test_cached_stream_not_mutated_across_systems(self):
+        q = query_by_name("Q1")
+        kwargs = dict(batch_size=32, num_batches=3, seed=0,
+                      conflict_mode="coalesce")
+        first = run_stream("GCSM", "AZ", q, **kwargs)
+        run_stream("ZC", "AZ", q, **kwargs)  # interleaved consumer
+        again = run_stream("GCSM", "AZ", q, **kwargs)
+        assert first.delta_total == again.delta_total
+        assert first.embeddings_total == again.embeddings_total
+        assert first.breakdown.total_ns == again.breakdown.total_ns
+        assert (first.counters.bytes_by_channel
+                == again.counters.bytes_by_channel)
+        assert first.counters.compute_ops == again.counters.compute_ops
+
+    def test_cached_batch_objects_stay_identical(self):
+        wl = build_workload("AZ", batch_size=32, num_batches=2, seed=0)
+        before = [b.edges.copy() for b in wl.batches]
+        run_stream("GCSM", "AZ", query_by_name("Q2"), batch_size=32,
+                   num_batches=2, seed=0, conflict_mode="coalesce")
+        after = build_workload("AZ", batch_size=32, num_batches=2, seed=0)
+        assert after is wl  # same memoized object...
+        for orig, now in zip(before, after.batches):
+            assert np.array_equal(orig, now.edges)  # ...bitwise untouched
+
+
+class TestWorkloadMixes:
+    def test_insert_and_delete_heavy_skew(self):
+        heavy_i = build_workload("AZ", batch_size=64, num_batches=2, seed=0,
+                                 update_mix="insert-heavy")
+        heavy_d = build_workload("AZ", batch_size=64, num_batches=2, seed=0,
+                                 update_mix="delete-heavy")
+        frac_i = np.mean([np.mean(b.signs > 0) for b in heavy_i.batches])
+        frac_d = np.mean([np.mean(b.signs > 0) for b in heavy_d.batches])
+        assert frac_i > 0.75 > 0.25 > frac_d
+
+    def test_churn_mix_runs(self):
+        wl = build_workload("AZ", batch_size=32, num_batches=3, seed=0,
+                            update_mix="churn")
+        assert wl.num_batches_delivered >= 2
+        r = run_stream("GCSM", "AZ", query_by_name("Q1"), batch_size=32,
+                       num_batches=3, seed=0, update_mix="churn")
+        assert r.update_mix == "churn"
+
+    def test_windowed_workload_runs(self):
+        r = run_stream("GCSM", "AZ", query_by_name("Q1"), batch_size=32,
+                       num_batches=3, seed=0, window=2,
+                       conflict_mode="coalesce")
+        assert r.window == 2
+        assert r.num_batches == 3
 
 
 class TestRunStream:

@@ -1,0 +1,257 @@
+"""Tests for the factorial scenario-matrix runner and its regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import matrix
+from repro.bench.harness import clear_caches
+from repro.cli import main
+
+TINY_SPEC = {
+    "name": "tiny",
+    "seed": 0,
+    "factors": {
+        "dataset": ["AZ"],
+        "query": ["Q1"],
+        "batch_size": [16],
+        "num_batches": [1],
+    },
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestParsePredicate:
+    def test_forms(self):
+        assert matrix.parse_predicate("w>=0.3") == (0.3, 1.0)
+        assert matrix.parse_predicate("w<=0.7") == (0.0, 0.7)
+        assert matrix.parse_predicate("0.2<=w<=0.8") == (0.2, 0.8)
+        assert matrix.parse_predicate(" 0.2 <= w <= 0.8 ") == (0.2, 0.8)
+
+    def test_rejects_garbage(self):
+        for bad in ("w=0.5", "0.9<=w<=0.1", "w>=x", "nope"):
+            with pytest.raises(ValueError):
+                matrix.parse_predicate(bad)
+
+
+class TestScenarioSpec:
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(ValueError, match="unknown factors"):
+            matrix.ScenarioSpec(name="x", factors={"wat": (1,)})
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="invalid level"):
+            matrix.ScenarioSpec(name="x", factors={"executor": ("warp",)})
+        with pytest.raises(ValueError, match="invalid level"):
+            matrix.ScenarioSpec(name="x", factors={"batch_size": (0,)})
+        with pytest.raises(ValueError):
+            matrix.ScenarioSpec(name="x", factors={"query": ("rulebook:Q9",)})
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError, match="no levels"):
+            matrix.ScenarioSpec(name="x", factors={"executor": ()})
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(ValueError, match="sample"):
+            matrix.ScenarioSpec(name="x", sample=0.0)
+
+    def test_round_trips_through_dict(self):
+        spec = matrix.ScenarioSpec.from_dict(TINY_SPEC)
+        again = matrix.ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestExpansion:
+    def test_full_factorial_with_pruning(self):
+        spec = matrix.ScenarioSpec(
+            name="x",
+            factors={
+                "executor": ("frontier", "recursive"),
+                "conflict_mode": ("strict", "coalesce"),
+                "update_mix": ("mixed", "adversarial"),
+            },
+        )
+        cells, pruned = matrix.expand_cells(spec)
+        # 2*2*2 = 8 combos; adversarial x strict is invalid => 2 pruned
+        assert len(cells) == 6
+        assert len(pruned) == 2
+        assert all("strict" in reason for _, reason in pruned)
+
+    def test_prunes_fleet_contradictions(self):
+        spec = matrix.ScenarioSpec(
+            name="x",
+            factors={
+                "system": ("GCSM", "ZC"),
+                "devices": (None, 2),
+                "partitioner": ("hash", "mincut"),
+            },
+        )
+        cells, pruned = matrix.expand_cells(spec)
+        for cell in cells:
+            if cell["devices"] is not None:
+                assert cell["system"] == "GCSM"
+            else:
+                assert cell["partitioner"] == "hash"
+        assert len(cells) + len(pruned) == 8
+
+    def test_sampling_is_deterministic_and_sized(self):
+        spec = matrix.ScenarioSpec(
+            name="x",
+            factors={
+                "executor": ("frontier", "recursive"),
+                "update_mix": ("mixed", "churn", "insert-heavy", "delete-heavy"),
+            },
+        )
+        a, _ = matrix.expand_cells(spec, sample=0.5)
+        b, _ = matrix.expand_cells(spec, sample=0.5)
+        assert a == b
+        assert len(a) == 4  # round(0.5 * 8)
+        full, _ = matrix.expand_cells(spec)
+        ids = {matrix.cell_id(c) for c in full}
+        assert {matrix.cell_id(c) for c in a} <= ids
+
+    def test_filter_cells(self):
+        spec = matrix.ScenarioSpec(
+            name="x", factors={"executor": ("frontier", "recursive"),
+                               "window": (None, 2)},
+        )
+        cells, _ = matrix.expand_cells(spec)
+        kept = matrix.filter_cells(cells, {"executor": "recursive", "window": "-"})
+        assert len(kept) == 1
+        assert kept[0]["executor"] == "recursive"
+        assert kept[0]["window"] is None
+        with pytest.raises(ValueError, match="unknown filter factor"):
+            matrix.filter_cells(cells, {"nope": "1"})
+
+    def test_cell_id_covers_every_factor(self):
+        spec = matrix.ScenarioSpec(name="x")
+        cells, _ = matrix.expand_cells(spec)
+        assert len(cells) == 1
+        cid = matrix.cell_id(cells[0])
+        for factor in matrix.FACTOR_NAMES:
+            assert f"{factor}=" in cid
+
+
+class TestRunMatrix:
+    def test_records_and_round_trip(self, tmp_path):
+        spec = matrix.ScenarioSpec.from_dict(TINY_SPEC)
+        traj = matrix.run_matrix(spec)
+        assert traj["schema_version"] == matrix.SCHEMA_VERSION
+        assert traj["cells_run"] == 1
+        rec = traj["records"][0]
+        assert rec["cell_id"] == matrix.cell_id(
+            dict(matrix.FACTOR_DEFAULTS, batch_size=16, num_batches=1)
+        )
+        m = rec["metrics"]
+        assert m["total_ns"] > 0 and m["compute_ops"] > 0
+        assert m["batch_size_requested"] == 16
+        path = tmp_path / "traj.json"
+        matrix.save_trajectory(traj, path)
+        assert matrix.load_trajectory(path) == json.loads(path.read_text())
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema_version": 0, "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            matrix.load_trajectory(path)
+
+    def test_rerun_is_deterministic(self):
+        spec = matrix.ScenarioSpec.from_dict(TINY_SPEC)
+        a = matrix.run_matrix(spec)
+        clear_caches()
+        b = matrix.run_matrix(spec)
+        ma = dict(a["records"][0]["metrics"])
+        mb = dict(b["records"][0]["metrics"])
+        ma.pop("wall_clock_s")
+        mb.pop("wall_clock_s")
+        assert ma == mb
+
+
+class TestCompareTrajectories:
+    def _trajectory(self):
+        spec = matrix.ScenarioSpec.from_dict(TINY_SPEC)
+        return matrix.run_matrix(spec)
+
+    def test_identical_passes(self):
+        traj = self._trajectory()
+        report = matrix.compare_trajectories(traj, copy.deepcopy(traj))
+        assert report.ok
+        assert report.compared == 1
+        assert "OK" in report.describe()
+
+    def test_injected_regression_fails(self):
+        traj = self._trajectory()
+        baseline = copy.deepcopy(traj)
+        # shrink the baseline so the fresh run looks 100% slower (>= 20%)
+        baseline["records"][0]["metrics"]["match_ns"] *= 0.5
+        report = matrix.compare_trajectories(traj, baseline, max_regress_pct=20.0)
+        assert not report.ok
+        assert any(m == "match_ns" for _, m, *_ in report.regressions)
+        assert "REGRESSION" in report.describe()
+        # a looser tolerance lets the same pair through
+        assert matrix.compare_trajectories(traj, baseline, max_regress_pct=150.0).ok
+
+    def test_exact_metric_must_match(self):
+        traj = self._trajectory()
+        baseline = copy.deepcopy(traj)
+        baseline["records"][0]["metrics"]["delta_total"] += 1
+        report = matrix.compare_trajectories(traj, baseline)
+        assert not report.ok
+        assert report.mismatches
+        assert "MISMATCH" in report.describe()
+
+    def test_improvements_and_new_cells_pass(self):
+        traj = self._trajectory()
+        baseline = copy.deepcopy(traj)
+        baseline["records"][0]["metrics"]["total_ns"] *= 10  # we got faster
+        baseline["records"].append(
+            {"cell_id": "retired-cell", "metrics": {"total_ns": 1.0}}
+        )
+        report = matrix.compare_trajectories(traj, baseline)
+        assert report.ok
+        assert report.missing_cells == ["retired-cell"]
+
+
+class TestMatrixCLI:
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(TINY_SPEC))
+        return str(path)
+
+    def test_list_mode(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        assert main(["matrix", "--spec", spec, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cells to run" in out
+
+    def test_run_gate_clean_then_regressed(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        out_path = tmp_path / "BENCH_matrix.json"
+        assert main(["matrix", "--spec", spec, "--out", str(out_path)]) == 0
+        # gating a fresh run against its own trajectory passes
+        assert main(["matrix", "--spec", spec, "--baseline", str(out_path)]) == 0
+        # inject a >= 20% simulated-time regression into the baseline
+        traj = json.loads(out_path.read_text())
+        for rec in traj["records"]:
+            rec["metrics"]["total_ns"] *= 0.5
+        out_path.write_text(json.dumps(traj))
+        capsys.readouterr()
+        assert main(["matrix", "--spec", spec, "--baseline", str(out_path),
+                     "--max-regress", "20"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_usage_errors(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        assert main(["matrix", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert main(["matrix", "--spec", spec, "--filter", "bogus"]) == 2
+        assert main(["matrix", "--spec", spec, "--filter", "wat=1"]) == 2
+        bad = tmp_path / "bad_baseline.json"
+        bad.write_text("{}")
+        assert main(["matrix", "--spec", spec, "--baseline", str(bad)]) == 2
